@@ -1,0 +1,18 @@
+"""Figure 3 — average NXDomain responses per month, 2014-2022.
+
+Paper: the monthly average rises from 2014 to 2016, stays relatively
+flat until 2020, jumps steeply in 2021 (to ~20 B/month), and increases
+further in 2022 (>22 B/month).  The bench regenerates the series from
+the trace and checks that year-over-year shape.
+"""
+
+from repro.core.reports import render_figure3
+from repro.core.scale import monthly_response_series
+
+
+def test_fig03_monthly_volume(benchmark, trace):
+    series = benchmark(monthly_response_series, trace.nx_db)
+    print()
+    print(render_figure3(series))
+    checks = series.shape_checks()
+    assert all(checks.values()), checks

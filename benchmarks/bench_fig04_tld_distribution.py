@@ -1,0 +1,17 @@
+"""Figure 4 — NXDomains and their queries across the top 20 TLDs.
+
+Paper: .com, .net, .cn, .ru, and .org have the most NXDomains and also
+receive the most queries; the top ccTLDs all appear in the top-20 list,
+and the query ranking tracks the domain ranking.
+"""
+
+from repro.core.reports import render_figure4
+from repro.core.scale import tld_distribution
+
+
+def test_fig04_tld_distribution(benchmark, trace):
+    distribution = benchmark(tld_distribution, trace.nx_db)
+    print()
+    print(render_figure4(distribution))
+    checks = distribution.shape_checks()
+    assert all(checks.values()), checks

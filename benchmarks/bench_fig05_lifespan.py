@@ -1,0 +1,18 @@
+"""Figure 5 — NXDomains and their queries across days in NX status.
+
+Paper: the number of NXDomains still receiving queries decreases
+sharply over the first ten days (drop-catching and awareness), then
+much more slowly; the query series tracks the domain series rather
+than dropping faster — domains keep being queried despite being NX.
+"""
+
+from repro.core.reports import render_figure5
+from repro.core.scale import lifespan_distribution
+
+
+def test_fig05_lifespan(benchmark, trace):
+    distribution = benchmark(lifespan_distribution, trace.nx_db, 60)
+    print()
+    print(render_figure5(distribution))
+    checks = distribution.shape_checks()
+    assert all(checks.values()), checks

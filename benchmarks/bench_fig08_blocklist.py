@@ -1,0 +1,30 @@
+"""Figure 8 — blocklisted NXDomains by threat category.
+
+Paper: cross-referencing a 20 M random sample of the expired NXDomains
+against the vendor blocklist (rate limits forced the sampling) finds
+483,887 blocklisted domains: 79% malware, 9% grayware, 8% phishing,
+4% C&C.  The bench reproduces the sampled, rate-limited cross-reference
+and checks the category shape.
+"""
+
+from repro.core.origin import blocklist_census
+from repro.core.reports import render_figure8
+from repro.rand import make_rng
+
+
+def test_fig08_blocklist_census(benchmark, trace):
+    # Each benchmark round burns API budget; advance the token-bucket
+    # window per call so rounds don't starve each other.
+    clock = {"now": 0}
+
+    def run():
+        clock["now"] += trace.blocklist.rate_limit.window_seconds
+        return blocklist_census(
+            trace, sample_ratio=0.5, rng=make_rng(2), now=clock["now"]
+        )
+
+    census = benchmark(run)
+    print()
+    print(render_figure8(census))
+    checks = census.shape_checks()
+    assert all(checks.values()), checks

@@ -1,0 +1,18 @@
+"""Figure 10 — port distribution: honeypot vs control group.
+
+Paper: the registered NXDomains receive traffic overwhelmingly on
+ports 80/443 (81.7% of all packets), while the control group is
+dominated by port 52646 — AWS's instance-monitoring port — which the
+two-stage filter removes entirely from the NXDomain view.
+"""
+
+from repro.core.reports import render_figure10
+from repro.core.security import port_distribution
+
+
+def test_fig10_port_distribution(benchmark, security_result):
+    ports = benchmark(port_distribution, security_result)
+    print()
+    print(render_figure10(ports))
+    checks = ports.shape_checks()
+    assert all(checks.values()), checks

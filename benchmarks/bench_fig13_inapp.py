@@ -1,0 +1,18 @@
+"""Figure 13 — in-app browsers used by domain visitors.
+
+Paper: of 3,808 in-app browser requests, WhatsApp leads (26%), with
+Facebook (16%), Twitter (12%), Instagram (11%), WeChat, DingTalk, and
+QQ following — short-messaging and social platforms dominate,
+suggesting the NXDomain links still circulate there.
+"""
+
+from repro.core.reports import render_figure13
+from repro.core.security import inapp_browser_distribution, inapp_shape_checks
+
+
+def test_fig13_inapp_browsers(benchmark, security_result):
+    histogram = benchmark(inapp_browser_distribution, security_result)
+    checks = inapp_shape_checks(histogram)
+    print()
+    print(render_figure13(histogram, checks))
+    assert all(checks.values()), checks

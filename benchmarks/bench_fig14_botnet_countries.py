@@ -1,0 +1,20 @@
+"""Figure 14 — gpclick.com victim phone country codes.
+
+Paper: 55,829 victim phone numbers parsed out of the getTask.php
+stream span four continents (Europe, Asia, America, Oceania) — the
+botnet is no longer confined to the Russian-speaking users its 2013
+disclosure described.
+"""
+
+from repro.core.reports import render_figure14
+from repro.core.security import botnet_country_distribution, botnet_victim_analysis
+
+
+def test_fig14_botnet_countries(benchmark, security_result):
+    histogram = benchmark(botnet_country_distribution, security_result)
+    print()
+    print(render_figure14(histogram))
+    analysis = botnet_victim_analysis(security_result)
+    assert len(analysis.continent_histogram) >= 3
+    assert histogram, "no victim country codes parsed"
+    assert max(histogram, key=histogram.get) == "ru"

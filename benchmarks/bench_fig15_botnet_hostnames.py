@@ -1,0 +1,19 @@
+"""Figure 15 — gpclick.com request source hostnames.
+
+Paper: although the victims are global, the requests arrive from a
+narrow cloud infrastructure — 56.1% of the malicious requests have
+source addresses reverse-resolving to google-proxy hosts, with the
+rest across generic cloud providers.
+"""
+
+from repro.core.reports import render_figure15
+from repro.core.security import botnet_hostname_distribution
+
+
+def test_fig15_botnet_hostnames(benchmark, security_result):
+    histogram = benchmark(botnet_hostname_distribution, security_result)
+    print()
+    print(render_figure15(histogram))
+    total = sum(histogram.values())
+    assert total > 0
+    assert histogram.get("google-proxy", 0) / total > 0.45

@@ -1,0 +1,44 @@
+"""§6.3 narrative findings — who crawls the registered NXDomains.
+
+Two results from the running text:
+
+1. conf-cdn.com's file-grabber traffic is 95.1% email-provider image
+   crawlers (Gmail 30,884, Yahoo 13,528, Outlook 5,483 of 53,094) —
+   the domain's assets are still referenced from circulating email;
+2. search-engine crawling correlates with the domain's former region:
+   porno-komiksy.com (ex-Russia) is crawled predominantly by mail.ru,
+   resheba.online by Google/Bing-class engines for its US-facing use.
+"""
+
+from repro.core.reports import render_table
+from repro.core.security import (
+    email_crawler_breakdown,
+    regional_correlation_checks,
+    search_engine_breakdown,
+)
+
+
+def test_s63_crawler_origins(benchmark, security_result):
+    breakdown = benchmark(email_crawler_breakdown, security_result)
+    print()
+    print("§6.3 — conf-cdn.com file grabbers (paper: 95.1% email crawlers)")
+    rows = [
+        (provider, count)
+        for provider, count in sorted(
+            breakdown.by_provider.items(), key=lambda kv: kv[1], reverse=True
+        )
+    ]
+    print(render_table(["provider", "requests"], rows))
+    print(
+        f"email share of file grabbers: {breakdown.email_share:.1%} "
+        f"({breakdown.email_crawler_total:,}/{breakdown.file_grabber_total:,})"
+    )
+    checks = breakdown.shape_checks()
+    assert all(checks.values()), checks
+
+    print("\n§6.3 — regional search-engine correlation")
+    for domain in ("porno-komiksy.com", "gpclick.com"):
+        histogram = search_engine_breakdown(security_result, domain)
+        print(f"  {domain}: {histogram}")
+    regional = regional_correlation_checks(security_result)
+    assert all(regional.values()), regional

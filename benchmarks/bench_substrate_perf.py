@@ -1,0 +1,95 @@
+"""Substrate micro-benchmarks.
+
+Not paper figures — these track the performance of the building blocks
+the study leans on, so substrate regressions show up next to the
+experiment benches: wire codec throughput, full iterative resolution,
+cached resolution, passive-DNS ingest, and classifier throughput.
+"""
+
+import pytest
+
+from repro.dga.detector import DgaDetector
+from repro.dga.features import extract_features
+from repro.dns.hierarchy import DnsHierarchy
+from repro.dns.message import DnsMessage, RCode, make_soa_record
+from repro.dns.name import DomainName
+from repro.dns.tld import TldRegistry
+from repro.dns.wire import decode_message, encode_message
+from repro.passivedns.database import PassiveDnsDatabase
+from repro.squatting.detector import SquattingDetector
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    h = DnsHierarchy.build(TldRegistry.default())
+    h.register_domain(DomainName("example.com"), "93.184.216.34")
+    return h
+
+
+def test_perf_wire_encode(benchmark):
+    query = DnsMessage.make_query(DomainName("www.example.com"), msg_id=7)
+    response = query.make_response(
+        rcode=RCode.NXDOMAIN,
+        authorities=[make_soa_record(DomainName("example.com"))],
+    )
+    wire = benchmark(encode_message, response)
+    assert len(wire) > 12
+
+
+def test_perf_wire_decode(benchmark):
+    query = DnsMessage.make_query(DomainName("www.example.com"), msg_id=7)
+    wire = encode_message(
+        query.make_response(
+            rcode=RCode.NXDOMAIN,
+            authorities=[make_soa_record(DomainName("example.com"))],
+        )
+    )
+    message = benchmark(decode_message, wire)
+    assert message.is_nxdomain()
+
+
+def test_perf_iterative_resolution(benchmark, hierarchy):
+    resolver = hierarchy.make_iterative_resolver()
+    result = benchmark(resolver.resolve, DomainName("www.example.com"))
+    assert result.addresses() == ["93.184.216.34"]
+
+
+def test_perf_cached_resolution(benchmark, hierarchy):
+    resolver = hierarchy.make_recursive_resolver()
+    resolver.resolve(DomainName("www.example.com"), now=0)
+
+    def cached():
+        return resolver.resolve(DomainName("www.example.com"), now=1)
+
+    result = benchmark(cached)
+    assert result.from_cache
+
+
+def test_perf_database_ingest(benchmark):
+    domains = [DomainName(f"bulk-{i % 500}.com") for i in range(2_000)]
+
+    def ingest():
+        db = PassiveDnsDatabase()
+        for i, domain in enumerate(domains):
+            db.add(domain, timestamp=i * 60, count=1)
+        return db
+
+    db = benchmark(ingest)
+    assert db.total_responses() == 2_000
+
+
+def test_perf_feature_extraction(benchmark):
+    vector = benchmark(extract_features, "xkqzvwplfmrt.com")
+    assert vector.shape[0] == 12
+
+
+def test_perf_dga_classify_batch(benchmark, dga_detector: DgaDetector):
+    batch = [f"label{i}x{'q' * (i % 7)}.com" for i in range(200)]
+    flags = benchmark(dga_detector.classify, batch)
+    assert len(flags) == 200
+
+
+def test_perf_squatting_classify(benchmark):
+    detector = SquattingDetector()
+    match = benchmark(detector.classify, DomainName("gogle.com"))
+    assert match is not None

@@ -1,0 +1,37 @@
+"""Meta-bench — shape robustness across seeds.
+
+A reproduction whose figures only hold at one lucky seed is not a
+reproduction.  This bench re-runs every §4 scale shape check across
+three independent seeds at a mid-size population and requires each
+check to pass on every seed.  (The full §4+§5 sweep is available as
+``repro-nxd validate``.)
+"""
+
+from repro.core.reports import render_table
+from repro.core.study import StudyConfig
+from repro.core.validation import validate_shapes
+
+SEEDS = [11, 12, 13]
+CONFIG = StudyConfig(
+    trace_domains=4_000,
+    squat_count=160,
+    expiry_timeline_sample=400,
+)
+
+
+def test_shape_robustness_across_seeds(benchmark):
+    report = benchmark.pedantic(
+        validate_shapes,
+        args=(SEEDS, CONFIG),
+        kwargs={"include_origin": False},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (name, f"{rate:.0%}", ",".join(map(str, failing)) or "-")
+        for name, rate, failing in report.worst()
+    ]
+    print()
+    print(f"Shape robustness across seeds {SEEDS} at {CONFIG.trace_domains:,} domains")
+    print(render_table(["check", "pass rate", "failing seeds"], rows))
+    assert report.robust(threshold=1.0), report.worst()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""DGA hunting: generate family streams, train the detector, evaluate.
+
+Walks the §5.2 pipeline standalone: generate candidate domains from all
+thirteen implemented DGA families, train the FANCI-style detector on
+disjoint days, report per-family recall (dictionary families are the
+known hard cases), and sweep the decision threshold to show the
+precision/recall trade-off behind the paper's 3% operating point.
+
+Usage::
+
+    python examples/dga_hunting.py [seed]
+"""
+
+import sys
+
+from repro.core.reports import render_table
+from repro.dga.corpus import benign_domains
+from repro.dga.detector import DgaDetector
+from repro.dga.families import ALL_FAMILIES
+from repro.rand import make_rng
+
+
+def main() -> int:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    print("training detector on generated samples from 13 families...")
+    detector = DgaDetector.train_default(seed=seed, samples_per_family=300)
+
+    print("\ntop feature weights:")
+    for name, weight in detector.feature_importances()[:6]:
+        print(f"  {name:<20} {weight:.2f}")
+
+    # Per-family recall on held-out days the training never saw.
+    rows = []
+    for family_cls in ALL_FAMILIES:
+        family = family_cls(seed=seed + 1000)
+        holdout = [
+            sample.domain
+            for day in range(400, 404)
+            for sample in family.domains_for_day(day)
+        ]
+        flags = detector.classify(holdout)
+        recall = sum(flags) / len(flags)
+        style = "dictionary" if family.name in ("suppobox", "matsnu") else "character"
+        rows.append((family.name, style, len(holdout), f"{recall:.1%}"))
+    print("\nper-family recall on held-out days:")
+    print(render_table(["family", "style", "samples", "recall"], rows))
+
+    # Threshold sweep against a benign holdout.
+    benign = benign_domains(make_rng(seed + 2), 1_500)
+    dga = [
+        sample.domain
+        for family_cls in ALL_FAMILIES
+        for sample in family_cls(seed=seed + 1000).domains_for_day(500, count=40)
+    ]
+    print("\nthreshold sweep (the ablation behind the 3% operating point):")
+    sweep_rows = []
+    for threshold, metrics in detector.threshold_sweep(
+        dga, benign, [0.1, 0.3, 0.5, 0.7, 0.9]
+    ):
+        sweep_rows.append(
+            (
+                threshold,
+                f"{metrics.precision:.3f}",
+                f"{metrics.recall:.3f}",
+                f"{metrics.false_positive_rate:.3f}",
+            )
+        )
+    print(render_table(["threshold", "precision", "recall", "fpr"], sweep_rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Quickstart: run the whole NXDomain study and print every figure.
+
+This is the one-command reproduction: it generates the passive DNS
+trace, runs the §4 scale analyses, the §5 origin analyses, the §6
+honeypot experiment, and prints each of the paper's tables and figures
+with its shape checks.
+
+Usage::
+
+    python examples/quickstart.py [seed] [domains]
+
+A small population is used by default so the script finishes in well
+under a minute; pass a larger domain count (e.g. 20000) for smoother
+curves.
+"""
+
+import sys
+
+from repro import NxdomainStudy, StudyConfig
+
+
+def main() -> int:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    domains = int(sys.argv[2]) if len(sys.argv) > 2 else 4_000
+    config = StudyConfig(
+        trace_domains=domains,
+        squat_count=max(domains // 25, 50),
+        honeypot_scale=0.003,
+    )
+    study = NxdomainStudy(seed=seed, config=config)
+    print(study.full_report())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

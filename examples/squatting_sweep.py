@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Squatting sweep: enumerate and classify squatting candidates.
+
+Shows the Figure 7 machinery standalone: for a handful of brands,
+enumerate each attack type's variant space, then run the unified
+detector over a mixed candidate stream (planted squats + clean names)
+and print the resulting census with per-type precision.
+
+Usage::
+
+    python examples/squatting_sweep.py
+"""
+
+from repro.core.reports import render_table
+from repro.dga.corpus import benign_domains
+from repro.dns.name import DomainName
+from repro.rand import make_rng
+from repro.squatting import (
+    PopularDomains,
+    SquattingDetector,
+    bitsquat_variants,
+    combosquat_variants,
+    dotsquat_variants,
+    homosquat_variants,
+    typosquat_variants,
+)
+
+
+def main() -> int:
+    targets = PopularDomains.default()
+    brands = [DomainName("google.com"), DomainName("paypal.com"), DomainName("mail.ru")]
+
+    print("variant-space sizes per brand:")
+    rows = []
+    for brand in brands:
+        rows.append(
+            (
+                str(brand),
+                len(typosquat_variants(brand)),
+                len(combosquat_variants(brand)),
+                len(dotsquat_variants(brand)),
+                len(bitsquat_variants(brand)),
+                len(homosquat_variants(brand)),
+            )
+        )
+    print(render_table(["brand", "typo", "combo", "dot", "bit", "homo"], rows))
+
+    print("\nexample variants for paypal.com:")
+    for label, variants in (
+        ("typo", typosquat_variants(DomainName("paypal.com"))[:4]),
+        ("combo", combosquat_variants(DomainName("paypal.com"))[:4]),
+        ("dot", dotsquat_variants(DomainName("paypal.com"))[:3]),
+        ("homo", homosquat_variants(DomainName("paypal.com"))[:3]),
+    ):
+        print(f"  {label:<6} {', '.join(str(v) for v in variants)}")
+
+    # A mixed stream: planted squats plus clean background names.
+    rng = make_rng(3)
+    detector = SquattingDetector(targets)
+    planted = (
+        typosquat_variants(brands[0])[:40]
+        + combosquat_variants(brands[1])[:30]
+        + dotsquat_variants(brands[2])[:1]
+        + bitsquat_variants(brands[0])[:3]
+        + homosquat_variants(brands[1])[:2]
+    )
+    clean = benign_domains(rng, 300)
+    stream = planted + clean
+
+    census = detector.census(stream)
+    clean_hits = sum(1 for d in clean if detector.is_squatting(d))
+    print("\ncensus over mixed stream (76 planted squats, 300 clean names):")
+    print(
+        render_table(
+            ["type", "detected"],
+            [(t.value, n) for t, n in sorted(census.items(), key=lambda kv: -kv[1])],
+        )
+    )
+    print(f"clean names flagged: {clean_hits} "
+          f"({clean_hits / len(clean):.1%} false-positive rate)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

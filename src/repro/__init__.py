@@ -1,0 +1,51 @@
+"""Reproduction of "Dial 'N' for NXDomain" (IMC 2023).
+
+This package rebuilds, at laptop scale, every system the paper's
+measurement study depends on:
+
+- ``repro.dns`` — a from-scratch DNS substrate (names, messages, wire
+  format, zones, an iterative resolver, and RFC 2308 negative caching)
+  so that NXDomain responses are produced by actual resolution, not
+  stamped onto rows.
+- ``repro.whois`` — the ICANN domain lifecycle (registration, ERRP
+  expiration, redemption grace period, drop-catching) and a queryable
+  WHOIS history database standing in for WhoisXML.
+- ``repro.dga`` — twelve published DGA family generators and a
+  feature-based in-line detector standing in for the commercial
+  classifier used in the paper.
+- ``repro.squatting`` — generators and detectors for typo-, combo-,
+  dot-, bit-, and homo-squatting.
+- ``repro.blocklist`` — a categorized, rate-limited domain blocklist.
+- ``repro.passivedns`` — a passive DNS collection pipeline (sensors,
+  SIE channel, columnar store) standing in for Farsight DNSDB.
+- ``repro.honeypot`` — the NXD-Honeypot: traffic recorder, two-stage
+  noise filter, and the HTTP traffic categorizer of Figure 11.
+- ``repro.workloads`` — calibrated synthetic traffic: the 8-year
+  NXDomain query trace, the 19 registered-domain honeypot profiles,
+  the gpclick botnet, crawlers, users, and cloud scanners.
+- ``repro.core`` — the measurement study itself: the scale (§4),
+  origin (§5), and security (§6) analyses, and renderers for every
+  table and figure in the paper's evaluation.
+
+Quickstart::
+
+    from repro import NxdomainStudy
+
+    study = NxdomainStudy(seed=7)
+    scale = study.run_scale_analysis()
+    print(scale.monthly_series.summary())
+"""
+
+from repro.version import __version__
+
+__all__ = ["NxdomainStudy", "StudyConfig", "__version__"]
+
+
+def __getattr__(name):
+    # Deferred so that importing a single substrate (e.g. repro.dns)
+    # does not pull in the full study pipeline.
+    if name in ("NxdomainStudy", "StudyConfig"):
+        from repro.core import study
+
+        return getattr(study, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,22 @@
+"""Domain blocklist substrate.
+
+Stands in for the Palo Alto Networks URL-filtering blocklist the paper
+cross-references 20 M sampled expired NXDomains against (§5.2,
+Figure 8).  Provides the four threat categories of Figure 8, an
+append-only store with the *rate-limited* query API that forced the
+paper's authors to sample (we reproduce the constraint so the sampling
+methodology is exercised, not bypassed), and feed generation for
+populating the store from the workload's malicious actors.
+"""
+
+from repro.blocklist.categories import ThreatCategory
+from repro.blocklist.feeds import FeedGenerator
+from repro.blocklist.store import BlocklistEntry, BlocklistStore, RateLimit
+
+__all__ = [
+    "BlocklistEntry",
+    "BlocklistStore",
+    "FeedGenerator",
+    "RateLimit",
+    "ThreatCategory",
+]

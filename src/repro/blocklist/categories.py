@@ -1,0 +1,36 @@
+"""Threat categories of the blocklist (Figure 8's four slices)."""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class ThreatCategory(enum.Enum):
+    """Why a domain was blocklisted."""
+
+    MALWARE = "malware"
+    GRAYWARE = "grayware"
+    PHISHING = "phishing"
+    COMMAND_AND_CONTROL = "c2"
+
+    @property
+    def display_name(self) -> str:
+        return _DISPLAY[self]
+
+
+_DISPLAY = {
+    ThreatCategory.MALWARE: "Malware",
+    ThreatCategory.GRAYWARE: "Grayware",
+    ThreatCategory.PHISHING: "Phishing",
+    ThreatCategory.COMMAND_AND_CONTROL: "C&C",
+}
+
+#: Figure 8's category shares among blocklisted NXDomains:
+#: malware 79%, grayware 9%, phishing 8%, C&C 4%.
+PAPER_CATEGORY_SHARES: Tuple[Tuple[ThreatCategory, float], ...] = (
+    (ThreatCategory.MALWARE, 0.79),
+    (ThreatCategory.GRAYWARE, 0.09),
+    (ThreatCategory.PHISHING, 0.08),
+    (ThreatCategory.COMMAND_AND_CONTROL, 0.04),
+)

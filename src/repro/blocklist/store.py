@@ -1,0 +1,136 @@
+"""The blocklist store and its rate-limited query API.
+
+The paper could not run its full 91 M expired NXDomains against the
+commercial blocklist "due to the rate limit of querying the blocklist
+database" and sampled 20 M instead.  :class:`BlocklistStore` models
+that operational constraint with a token-bucket limiter on
+:meth:`query`; internal bulk population and the unthrottled
+:meth:`lookup` remain available to the simulation itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.blocklist.categories import ThreatCategory
+from repro.dns.name import DomainName
+from repro.errors import RateLimitExceeded
+
+
+@dataclass(frozen=True)
+class BlocklistEntry:
+    """One blocklisted domain with provenance."""
+
+    domain: DomainName
+    category: ThreatCategory
+    listed_at: int
+    source: str = "feed"
+
+
+@dataclass
+class RateLimit:
+    """A token bucket: ``capacity`` queries refilled every ``window`` s."""
+
+    capacity: int = 10_000
+    window_seconds: int = 3600
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0 or self.window_seconds <= 0:
+            raise ValueError("capacity and window must be positive")
+
+
+class BlocklistStore:
+    """Categorized domain blocklist with a throttled external API."""
+
+    def __init__(self, rate_limit: Optional[RateLimit] = None) -> None:
+        self.rate_limit = rate_limit if rate_limit is not None else RateLimit()
+        self._entries: Dict[DomainName, BlocklistEntry] = {}
+        self._window_start: Optional[int] = None
+        self._window_used = 0
+        self.queries_served = 0
+        self.queries_rejected = 0
+
+    # -- population (registry side, unthrottled) ---------------------------
+
+    def add(
+        self,
+        domain: DomainName,
+        category: ThreatCategory,
+        listed_at: int = 0,
+        source: str = "feed",
+    ) -> BlocklistEntry:
+        """List a domain; re-listing keeps the earliest entry."""
+        key = domain.registered_domain()
+        existing = self._entries.get(key)
+        if existing is not None:
+            return existing
+        entry = BlocklistEntry(key, category, listed_at, source)
+        self._entries[key] = entry
+        return entry
+
+    def add_all(self, entries: Iterable[BlocklistEntry]) -> None:
+        for entry in entries:
+            self.add(entry.domain, entry.category, entry.listed_at, entry.source)
+
+    def remove(self, domain: DomainName) -> bool:
+        return self._entries.pop(domain.registered_domain(), None) is not None
+
+    # -- internal lookup (simulation side, unthrottled) ----------------------
+
+    def lookup(self, domain: DomainName) -> Optional[BlocklistEntry]:
+        return self._entries.get(domain.registered_domain())
+
+    def __contains__(self, domain: DomainName) -> bool:
+        return domain.registered_domain() in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def category_histogram(self) -> Dict[ThreatCategory, int]:
+        counts: Dict[ThreatCategory, int] = {c: 0 for c in ThreatCategory}
+        for entry in self._entries.values():
+            counts[entry.category] += 1
+        return counts
+
+    # -- external API (throttled, what the study calls) -------------------------
+
+    def query(self, domain: DomainName, now: int) -> Optional[BlocklistEntry]:
+        """Rate-limited lookup; raises :class:`RateLimitExceeded`.
+
+        ``now`` is simulation time; the token window slides with it.
+        """
+        self._refill(now)
+        if self._window_used >= self.rate_limit.capacity:
+            self.queries_rejected += 1
+            raise RateLimitExceeded(
+                f"blocklist API limit of {self.rate_limit.capacity} queries "
+                f"per {self.rate_limit.window_seconds}s exhausted"
+            )
+        self._window_used += 1
+        self.queries_served += 1
+        return self.lookup(domain)
+
+    def query_many(
+        self, domains: Iterable[DomainName], now: int
+    ) -> List[BlocklistEntry]:
+        """Throttled bulk query; hits only.  Raises mid-way when the
+        budget runs out, exactly like a real API would."""
+        hits = []
+        for domain in domains:
+            entry = self.query(domain, now)
+            if entry is not None:
+                hits.append(entry)
+        return hits
+
+    def remaining_budget(self, now: int) -> int:
+        self._refill(now)
+        return self.rate_limit.capacity - self._window_used
+
+    def _refill(self, now: int) -> None:
+        if (
+            self._window_start is None
+            or now - self._window_start >= self.rate_limit.window_seconds
+        ):
+            self._window_start = now
+            self._window_used = 0

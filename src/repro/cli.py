@@ -1,0 +1,313 @@
+"""Command-line interface.
+
+``repro-nxd`` (or ``python -m repro``) exposes the study and the
+individual detectors:
+
+- ``repro-nxd report`` — run everything, print every table and figure;
+- ``repro-nxd scale`` / ``origin`` / ``security`` — one section;
+- ``repro-nxd selection`` — the §3.3 candidate list;
+- ``repro-nxd sinkhole`` — classify the trace's NXDomain stream at the
+  DNS level (the §7 future-work analysis server);
+- ``repro-nxd dga <domain> ...`` — classify names with the detector;
+- ``repro-nxd squat <domain> ...`` — classify names against the
+  popular-target list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import reports, security as security_mod
+from repro.core.study import NxdomainStudy, StudyConfig
+from repro.version import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-nxd",
+        description="Reproduction of 'Dial N for NXDomain' (IMC 2023)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_study_args(p):
+        p.add_argument("--seed", type=int, default=0, help="top-level RNG seed")
+        p.add_argument(
+            "--domains", type=int, default=6_000, help="trace population size"
+        )
+        p.add_argument(
+            "--honeypot-scale",
+            type=float,
+            default=0.005,
+            help="fraction of the paper's 5.93M honeypot requests to generate",
+        )
+
+    for name, help_text in (
+        ("report", "run the full study and print every table and figure"),
+        ("scale", "§4 scale analyses (Figures 3-6)"),
+        ("origin", "§5 origin analyses (WHOIS join, DGA, Figures 7-8)"),
+        ("security", "§6 honeypot experiment (Table 1, Figures 10-15)"),
+        ("selection", "§3.3 domain selection"),
+        ("sinkhole", "classify the NXDomain stream at the DNS level (§7)"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        add_study_args(p)
+    sub_validate = sub.add_parser(
+        "validate", help="shape-check robustness across a seed sweep"
+    )
+    sub_validate.add_argument("--seeds", type=int, default=5, help="seed count")
+    sub_validate.add_argument("--domains", type=int, default=6_000)
+    sub_validate.add_argument(
+        "--skip-origin", action="store_true", help="only run the §4 checks"
+    )
+
+    sub_trace = sub.add_parser(
+        "trace", help="generate, save, and analyze trace datasets"
+    )
+    trace_sub = sub_trace.add_subparsers(dest="trace_command", required=True)
+    trace_generate = trace_sub.add_parser(
+        "generate", help="generate a trace and save it to a directory"
+    )
+    trace_generate.add_argument("out", help="output directory")
+    trace_generate.add_argument("--seed", type=int, default=0)
+    trace_generate.add_argument("--domains", type=int, default=6_000)
+    trace_analyze = trace_sub.add_parser(
+        "analyze", help="run the §4 analyses over a saved trace"
+    )
+    trace_analyze.add_argument("path", help="directory written by 'trace generate'")
+
+    sub_dga = sub.add_parser("dga", help="classify domains with the DGA detector")
+    sub_dga.add_argument("names", nargs="+", help="domain names to classify")
+    sub_dga.add_argument("--seed", type=int, default=0)
+    sub_dga.add_argument("--threshold", type=float, default=0.5)
+    sub_squat = sub.add_parser(
+        "squat", help="classify domains against the popular-target list"
+    )
+    sub_squat.add_argument("names", nargs="+", help="domain names to classify")
+    return parser
+
+
+def _study_from(args: argparse.Namespace) -> NxdomainStudy:
+    config = StudyConfig(
+        trace_domains=args.domains,
+        squat_count=max(args.domains // 25, 50),
+        honeypot_scale=args.honeypot_scale,
+    )
+    return NxdomainStudy(seed=args.seed, config=config)
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    print(_study_from(args).full_report())
+    return 0
+
+
+def cmd_scale(args: argparse.Namespace) -> int:
+    analysis = _study_from(args).run_scale_analysis()
+    print(reports.render_figure3(analysis.monthly_series))
+    print()
+    print(reports.render_figure4(analysis.tld_distribution))
+    print()
+    print(reports.render_figure5(analysis.lifespan))
+    print()
+    print(reports.render_figure6(analysis.expiry_timeline))
+    return 0
+
+
+def cmd_origin(args: argparse.Namespace) -> int:
+    analysis = _study_from(args).run_origin_analysis()
+    print(reports.render_whois_join(analysis.whois_join))
+    print()
+    print(reports.render_dga_census(analysis.dga_census))
+    print()
+    print(reports.render_figure7(analysis.squatting_census))
+    print()
+    print(reports.render_figure8(analysis.blocklist_census))
+    return 0
+
+
+def cmd_security(args: argparse.Namespace) -> int:
+    study = _study_from(args)
+    result = study.run_security_analysis()
+    print(reports.render_table1(result))
+    print()
+    print(reports.render_figure10(security_mod.port_distribution(result)))
+    print()
+    inapp = security_mod.inapp_browser_distribution(result)
+    print(reports.render_figure13(inapp, security_mod.inapp_shape_checks(inapp)))
+    print()
+    print(
+        reports.render_figure14(security_mod.botnet_country_distribution(result))
+    )
+    print()
+    print(
+        reports.render_figure15(security_mod.botnet_hostname_distribution(result))
+    )
+    return 0
+
+
+def cmd_selection(args: argparse.Namespace) -> int:
+    study = _study_from(args)
+    chosen = study.run_selection()
+    rows = [
+        (
+            str(candidate.record.domain),
+            candidate.record.kind.value,
+            f"{candidate.monthly_queries:,.0f}",
+            candidate.nx_days,
+            "malicious" if candidate.is_malicious else "benign",
+        )
+        for candidate in chosen
+    ]
+    print("§3.3 — selected study domains (high traffic, ≥180 days NX):")
+    print(
+        reports.render_table(
+            ["domain", "origin", "queries/mo", "nx-days", "class"], rows
+        )
+    )
+    return 0
+
+
+def cmd_sinkhole(args: argparse.Namespace) -> int:
+    from repro.core.sinkhole import NxdomainSinkhole
+
+    study = _study_from(args)
+    trace = study.trace
+    sinkhole = NxdomainSinkhole(
+        study.dga_detector, blocklist=trace.blocklist
+    )
+    for record in trace.population:
+        profile = trace.nx_db.profile(record.domain)
+        if profile is not None:
+            sinkhole.observe(
+                record.domain, profile.first_seen, profile.total_queries
+            )
+    report = sinkhole.report(top_n=15)
+    print("§7 — DNS-level sinkhole classification of the NXDomain stream")
+    print(
+        reports.render_table(
+            ["verdict", "domains", "queries"],
+            [
+                (v.value, report.domains_by_verdict[v], f"{report.queries_by_verdict[v]:,}")
+                for v in report.domains_by_verdict
+            ],
+        )
+    )
+    print(f"\nsuspicious fraction: {report.suspicious_fraction():.1%}")
+    print("\ntop suspicious NXDomains by query volume:")
+    print(
+        reports.render_table(
+            ["domain", "verdict", "detail", "queries"],
+            [
+                (str(r.domain), r.verdict.value, r.detail, f"{r.queries:,}")
+                for r in report.top_suspicious
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_dga(args: argparse.Namespace) -> int:
+    from repro.dga.detector import DgaDetector
+
+    detector = DgaDetector.train_default(
+        seed=args.seed, samples_per_family=150, threshold=args.threshold
+    )
+    rows = []
+    for name in args.names:
+        probability = detector.probability(name)
+        rows.append(
+            (name, f"{probability:.3f}", "DGA" if probability >= args.threshold else "benign")
+        )
+    print(reports.render_table(["domain", "p(dga)", "verdict"], rows))
+    return 0
+
+
+def cmd_squat(args: argparse.Namespace) -> int:
+    from repro.dns.name import DomainName
+    from repro.squatting.detector import SquattingDetector
+
+    detector = SquattingDetector()
+    rows = []
+    for name in args.names:
+        match = detector.classify(DomainName(name))
+        if match is None:
+            rows.append((name, "clean", ""))
+        else:
+            rows.append((name, match.squat_type.value, str(match.target)))
+    print(reports.render_table(["domain", "verdict", "target"], rows))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.core.validation import validate_shapes
+
+    config = StudyConfig(
+        trace_domains=args.domains, squat_count=max(args.domains // 25, 50)
+    )
+    report = validate_shapes(
+        list(range(args.seeds)), config, include_origin=not args.skip_origin
+    )
+    rows = [
+        (name, f"{rate:.0%}", ",".join(map(str, failing)) or "-")
+        for name, rate, failing in report.worst()
+    ]
+    print(
+        f"shape robustness over {len(report.seeds)} seeds at "
+        f"{args.domains:,} domains (overall "
+        f"{report.overall_pass_rate():.1%}):"
+    )
+    print(reports.render_table(["check", "pass rate", "failing seeds"], rows))
+    return 0 if report.robust() else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.scale import monthly_response_series, tld_distribution
+    from repro.workloads.persistence import load_trace, save_trace
+    from repro.workloads.trace import NxdomainTraceGenerator, TraceConfig
+
+    if args.trace_command == "generate":
+        config = TraceConfig(
+            total_domains=args.domains, squat_count=max(args.domains // 25, 50)
+        )
+        trace = NxdomainTraceGenerator(seed=args.seed, config=config).generate()
+        root = save_trace(trace, args.out)
+        print(
+            f"saved trace: {trace.nx_db.unique_domains():,} domains, "
+            f"{trace.nx_db.total_responses():,} responses -> {root}"
+        )
+        return 0
+    trace = load_trace(args.path)
+    print(
+        f"loaded trace: {trace.nx_db.unique_domains():,} domains, "
+        f"{trace.nx_db.total_responses():,} responses"
+    )
+    print()
+    print(reports.render_figure3(monthly_response_series(trace.nx_db)))
+    print()
+    print(reports.render_figure4(tld_distribution(trace.nx_db)))
+    return 0
+
+
+_COMMANDS = {
+    "report": cmd_report,
+    "validate": cmd_validate,
+    "trace": cmd_trace,
+    "scale": cmd_scale,
+    "origin": cmd_origin,
+    "security": cmd_security,
+    "selection": cmd_selection,
+    "sinkhole": cmd_sinkhole,
+    "dga": cmd_dga,
+    "squat": cmd_squat,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

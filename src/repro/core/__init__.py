@@ -1,0 +1,14 @@
+"""The measurement study itself.
+
+This package is the paper's primary contribution rebuilt as a library:
+the §4 scale analyses (:mod:`repro.core.scale`), the §5 origin analyses
+(:mod:`repro.core.origin`), the §6 honeypot security analyses
+(:mod:`repro.core.security`), the §3.3 domain-selection criteria
+(:mod:`repro.core.selection`), plain-text table/figure renderers
+(:mod:`repro.core.reports`), and the end-to-end orchestrator
+(:mod:`repro.core.study`).
+"""
+
+from repro.core.study import NxdomainStudy, StudyConfig
+
+__all__ = ["NxdomainStudy", "StudyConfig"]

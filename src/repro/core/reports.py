@@ -1,0 +1,293 @@
+"""Plain-text renderers for every table and figure.
+
+The benchmark harness prints these so a run's output can be eyeballed
+against the paper: each renderer emits the same rows/series the paper
+reports, with a ``shape`` line summarizing the qualitative checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.core.origin import (
+    BlocklistCensus,
+    DgaCensus,
+    SquattingCensus,
+    WhoisJoinResult,
+)
+from repro.core.scale import (
+    ExpiryTimeline,
+    LifespanDistribution,
+    MonthlySeries,
+    TldDistribution,
+)
+from repro.core.security import PortDistribution, SecurityRunResult
+from repro.honeypot.categorize import Subcategory
+from repro.squatting.detector import SquattingType
+from repro.workloads.domains import TABLE1_FIELDS
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """A fixed-width text table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in materialized)
+    return "\n".join(out)
+
+
+def render_bars(
+    pairs: Sequence[Tuple[str, float]], width: int = 40, unit: str = ""
+) -> str:
+    """A horizontal ASCII bar chart."""
+    if not pairs:
+        return "(empty)"
+    peak = max(value for _, value in pairs) or 1.0
+    label_width = max(len(label) for label, _ in pairs)
+    lines = []
+    for label, value in pairs:
+        bar = "#" * max(int(round(width * value / peak)), 0)
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:,.0f}{unit}")
+    return "\n".join(lines)
+
+
+def _shape_line(checks: Dict[str, bool]) -> str:
+    rendered = ", ".join(
+        f"{name}={'PASS' if ok else 'FAIL'}" for name, ok in checks.items()
+    )
+    return f"shape: {rendered}"
+
+
+# -- §4 -----------------------------------------------------------------
+
+
+def render_figure3(series: MonthlySeries) -> str:
+    yearly = series.yearly_average()
+    body = render_bars([(str(y), v) for y, v in yearly.items()], unit="/mo")
+    return (
+        "Figure 3 — average NXDomain responses per month by year\n"
+        f"{body}\n{_shape_line(series.shape_checks())}"
+    )
+
+
+def render_figure4(distribution: TldDistribution) -> str:
+    table = render_table(
+        ["rank", "tld", "nxdomains", "queries"],
+        [
+            (rank + 1, tld, f"{domains:,}", f"{queries:,}")
+            for rank, (tld, domains, queries) in enumerate(distribution.top(20))
+        ],
+    )
+    return (
+        "Figure 4 — top 20 TLDs by NXDomains\n"
+        f"{table}\n{_shape_line(distribution.shape_checks())}"
+    )
+
+
+def render_figure5(distribution: LifespanDistribution) -> str:
+    rows = []
+    for day in (0, 1, 2, 5, 10, 20, 30, 45, 59):
+        rows.append(
+            (
+                day,
+                f"{int(distribution.domains_per_day[day]):,}",
+                f"{int(distribution.queries_per_day[day]):,}",
+            )
+        )
+    table = render_table(["day-in-nx", "domains-queried", "queries"], rows)
+    return (
+        "Figure 5 — NXDomains and queries across days in NX status\n"
+        f"{table}\n{_shape_line(distribution.shape_checks())}"
+    )
+
+
+def render_figure6(timeline: ExpiryTimeline) -> str:
+    rows = []
+    for offset in (-60, -30, -10, -1, 0, 10, 20, 28, 30, 32, 45, 60, 90, 119):
+        rows.append((offset, f"{timeline.at_offset(offset):,.1f}"))
+    table = render_table(["day-vs-expiry", "avg-queries"], rows)
+    return (
+        f"Figure 6 — queries around NX transition "
+        f"({timeline.sampled_domains} domains averaged)\n"
+        f"{table}\n{_shape_line(timeline.shape_checks())}"
+    )
+
+
+def render_long_lived(cohort) -> str:
+    lines = [
+        "§4.4 — long-lived NXDomain cohort "
+        f"(>{cohort.min_years:g} years in NX status; paper: 1,018,964 "
+        "domains >5y with 107M queries)",
+        f"cohort domains : {cohort.domain_count:,} of "
+        f"{cohort.population_domains:,} ({cohort.cohort_fraction:.1%})",
+        f"cohort queries : {cohort.total_queries:,}",
+        _shape_line(cohort.shape_checks()),
+    ]
+    return "\n".join(lines)
+
+
+# -- §5 -----------------------------------------------------------------
+
+
+def render_dga_registration(rate) -> str:
+    lines = [
+        "§5.1 — DGA registration rate (paper cites 0.62%, Plohmann et al.)",
+        f"registered DGA domains : {rate.registered_dga:,} of "
+        f"{rate.total_dga:,} ({rate.registration_rate:.2%})",
+        _shape_line(rate.shape_checks()),
+    ]
+    return "\n".join(lines)
+
+
+def render_whois_join(result: WhoisJoinResult) -> str:
+    table = render_table(
+        ["population", "count", "fraction"],
+        [
+            ("with WHOIS history (expired)", f"{result.with_history:,}",
+             f"{result.expired_fraction:.2%}"),
+            ("never registered", f"{result.never_registered:,}",
+             f"{1 - result.expired_fraction:.2%}"),
+            ("total", f"{result.total_domains:,}", "100%"),
+        ],
+    )
+    return (
+        "§5.1 — WHOIS history join (paper: 0.06% expired of 146B)\n"
+        f"{table}\n{_shape_line(result.shape_checks())}"
+    )
+
+
+def render_dga_census(census: DgaCensus) -> str:
+    lines = [
+        "§5.2 — DGA census over expired NXDomains (paper: 2,770,650 = 3%)",
+        f"expired domains analyzed : {census.expired_total:,}",
+        f"flagged as DGA           : {census.flagged:,} "
+        f"({census.flagged_fraction:.1%})",
+    ]
+    if census.ground_truth is not None:
+        m = census.ground_truth
+        lines.append(
+            f"vs ground truth          : precision={m.precision:.2f} "
+            f"recall={m.recall:.2f} fpr={m.false_positive_rate:.3f}"
+        )
+    lines.append(_shape_line(census.shape_checks()))
+    return "\n".join(lines)
+
+
+def render_figure7(census: SquattingCensus) -> str:
+    paper = {
+        SquattingType.TYPO: 45_175,
+        SquattingType.COMBO: 38_900,
+        SquattingType.DOT: 6_090,
+        SquattingType.BIT: 313,
+        SquattingType.HOMO: 126,
+    }
+    rows = [
+        (t.value, f"{census.counts[t]:,}", f"{paper[t]:,}")
+        for t in (
+            SquattingType.TYPO,
+            SquattingType.COMBO,
+            SquattingType.DOT,
+            SquattingType.BIT,
+            SquattingType.HOMO,
+        )
+    ]
+    table = render_table(["squatting type", "measured", "paper"], rows)
+    return (
+        f"Figure 7 — squatting NXDomains by type "
+        f"(total {census.total_squatting:,})\n"
+        f"{table}\n{_shape_line(census.shape_checks())}"
+    )
+
+
+def render_figure8(census: BlocklistCensus) -> str:
+    paper_shares = {"malware": 0.79, "grayware": 0.09, "phishing": 0.08, "c2": 0.04}
+    shares = census.category_shares()
+    rows = [
+        (
+            category.display_name,
+            f"{census.by_category[category]:,}",
+            f"{shares[category]:.1%}",
+            f"{paper_shares[category.value]:.0%}",
+        )
+        for category in census.by_category
+    ]
+    table = render_table(["category", "measured", "share", "paper share"], rows)
+    note = " (rate limited)" if census.rate_limited else ""
+    return (
+        f"Figure 8 — blocklisted NXDomains by category "
+        f"({census.listed:,} of {census.sampled:,} sampled{note})\n"
+        f"{table}\n{_shape_line(census.shape_checks())}"
+    )
+
+
+# -- §6 -----------------------------------------------------------------
+
+_TABLE1_SHORT = {
+    Subcategory.SEARCH_ENGINE: "SE",
+    Subcategory.FILE_GRABBER: "FileGrab",
+    Subcategory.SCRIPT_SOFTWARE: "Script",
+    Subcategory.MALICIOUS_REQUEST: "MalReq",
+    Subcategory.REFERRAL_SEARCH: "RefSE",
+    Subcategory.REFERRAL_EMBEDDED: "RefEmb",
+    Subcategory.REFERRAL_MALICIOUS: "RefMal",
+    Subcategory.PC_MOBILE: "PC/Mob",
+    Subcategory.INAPP: "InApp",
+    Subcategory.OTHER: "Others",
+}
+
+
+def render_table1(result: SecurityRunResult) -> str:
+    headers = ["domain"] + [_TABLE1_SHORT[f] for f in TABLE1_FIELDS] + ["total"]
+    rows = []
+    for report in result.table1:
+        rows.append(
+            [report.domain]
+            + [f"{report.count(f):,}" for f in TABLE1_FIELDS]
+            + [f"{report.total:,}"]
+        )
+    totals = ["TOTAL"] + [
+        f"{sum(r.count(f) for r in result.table1):,}" for f in TABLE1_FIELDS
+    ] + [f"{sum(r.total for r in result.table1):,}"]
+    rows.append(totals)
+    table = render_table(headers, rows)
+    return (
+        "Table 1 — HTTP/HTTPS traffic by registered domain and category\n"
+        f"{table}\n{_shape_line(result.shape_checks())}"
+    )
+
+
+def render_figure10(ports: PortDistribution) -> str:
+    honeypot = render_bars([(str(p), c) for p, c in ports.honeypot_ports])
+    control = render_bars([(str(p), c) for p, c in ports.control_ports])
+    return (
+        "Figure 10a — NXDomain traffic by port (filtered)\n"
+        f"{honeypot}\n\n"
+        "Figure 10b — control group traffic by port\n"
+        f"{control}\n{_shape_line(ports.shape_checks())}"
+    )
+
+
+def render_figure13(histogram: Dict[str, int], checks: Dict[str, bool]) -> str:
+    body = render_bars(list(histogram.items()))
+    return f"Figure 13 — in-app browsers of domain visitors\n{body}\n{_shape_line(checks)}"
+
+
+def render_figure14(histogram: Dict[str, int]) -> str:
+    body = render_bars(
+        sorted(histogram.items(), key=lambda kv: kv[1], reverse=True)
+    )
+    return f"Figure 14 — gpclick.com victim phone country codes\n{body}"
+
+
+def render_figure15(histogram: Dict[str, int]) -> str:
+    body = render_bars(
+        sorted(histogram.items(), key=lambda kv: kv[1], reverse=True)
+    )
+    return f"Figure 15 — gpclick.com request source hostnames\n{body}"

@@ -1,0 +1,173 @@
+"""NXDomain sinkholing (§7 future work).
+
+The paper closes by proposing to "sinkhole NXDomain traffic to
+dedicated analysis servers, so we can identify security problems
+directly based on DNS traffic analysis" — i.e. classify the danger of
+an NXDomain *from its query stream alone*, without spending money
+registering it.
+
+:class:`NxdomainSinkhole` is that analysis server: it subscribes to an
+SIE channel (or is fed observations directly) and classifies each
+newly seen NXDomain with the library's detectors — blocklist history
+first (cheapest), then squatting against the popular-target list, then
+the lexical DGA detector — and accumulates per-verdict query volume so
+operators can rank which NXDomains are worth defensive registration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.blocklist.store import BlocklistStore
+from repro.dga.detector import DgaDetector
+from repro.dns.name import DomainName
+from repro.passivedns.record import DnsObservation
+from repro.squatting.detector import SquattingDetector
+
+
+class SinkholeVerdict(enum.Enum):
+    """Danger classification of one sinkholed NXDomain."""
+
+    BLOCKLISTED = "blocklisted"
+    SQUATTING = "squatting"
+    DGA = "dga"
+    UNCLASSIFIED = "unclassified"
+
+
+@dataclass
+class SinkholedDomain:
+    """Accumulated evidence for one NXDomain."""
+
+    domain: DomainName
+    verdict: SinkholeVerdict
+    detail: str = ""
+    queries: int = 0
+    first_seen: int = 0
+    last_seen: int = 0
+
+    @property
+    def is_suspicious(self) -> bool:
+        return self.verdict != SinkholeVerdict.UNCLASSIFIED
+
+
+@dataclass
+class SinkholeReport:
+    """The operator-facing summary."""
+
+    domains_by_verdict: Dict[SinkholeVerdict, int]
+    queries_by_verdict: Dict[SinkholeVerdict, int]
+    top_suspicious: List[SinkholedDomain]
+
+    def total_domains(self) -> int:
+        return sum(self.domains_by_verdict.values())
+
+    def suspicious_fraction(self) -> float:
+        total = self.total_domains()
+        if total == 0:
+            return 0.0
+        benign = self.domains_by_verdict.get(SinkholeVerdict.UNCLASSIFIED, 0)
+        return (total - benign) / total
+
+
+class NxdomainSinkhole:
+    """Classifies NXDomain query streams at the DNS level.
+
+    Plug into a channel::
+
+        channel.subscribe(sinkhole.ingest)
+
+    Classification runs once per newly seen domain and is cached;
+    subsequent observations only update volume counters, so the
+    sinkhole keeps up with high-rate streams.
+    """
+
+    def __init__(
+        self,
+        dga_detector: DgaDetector,
+        squatting_detector: Optional[SquattingDetector] = None,
+        blocklist: Optional[BlocklistStore] = None,
+    ) -> None:
+        self.dga_detector = dga_detector
+        self.squatting_detector = (
+            squatting_detector if squatting_detector is not None else SquattingDetector()
+        )
+        self.blocklist = blocklist
+        self._domains: Dict[DomainName, SinkholedDomain] = {}
+        self.observations = 0
+
+    # -- ingestion -------------------------------------------------------
+
+    def ingest(self, observation: DnsObservation) -> SinkholedDomain:
+        """Feed one channel observation (NXDomains only reach us)."""
+        return self.observe(
+            observation.registered_domain,
+            observation.timestamp,
+            observation.count,
+        )
+
+    def observe(
+        self, domain: DomainName, timestamp: int, count: int = 1
+    ) -> SinkholedDomain:
+        self.observations += 1
+        domain = domain.registered_domain()
+        record = self._domains.get(domain)
+        if record is None:
+            verdict, detail = self._classify(domain)
+            record = SinkholedDomain(
+                domain=domain,
+                verdict=verdict,
+                detail=detail,
+                first_seen=timestamp,
+                last_seen=timestamp,
+            )
+            self._domains[domain] = record
+        record.queries += count
+        record.last_seen = max(record.last_seen, timestamp)
+        record.first_seen = min(record.first_seen, timestamp)
+        return record
+
+    def _classify(self, domain: DomainName) -> Tuple[SinkholeVerdict, str]:
+        if self.blocklist is not None:
+            entry = self.blocklist.lookup(domain)
+            if entry is not None:
+                return SinkholeVerdict.BLOCKLISTED, entry.category.value
+        match = self.squatting_detector.classify(domain)
+        if match is not None:
+            return (
+                SinkholeVerdict.SQUATTING,
+                f"{match.squat_type.value} of {match.target}",
+            )
+        if self.dga_detector.is_dga(domain):
+            return SinkholeVerdict.DGA, f"p={self.dga_detector.probability(domain):.2f}"
+        return SinkholeVerdict.UNCLASSIFIED, ""
+
+    # -- reporting -----------------------------------------------------------
+
+    def lookup(self, domain: DomainName) -> Optional[SinkholedDomain]:
+        return self._domains.get(domain.registered_domain())
+
+    def report(self, top_n: int = 20) -> SinkholeReport:
+        domains_by_verdict: Dict[SinkholeVerdict, int] = {
+            v: 0 for v in SinkholeVerdict
+        }
+        queries_by_verdict: Dict[SinkholeVerdict, int] = {
+            v: 0 for v in SinkholeVerdict
+        }
+        for record in self._domains.values():
+            domains_by_verdict[record.verdict] += 1
+            queries_by_verdict[record.verdict] += record.queries
+        suspicious = sorted(
+            (r for r in self._domains.values() if r.is_suspicious),
+            key=lambda r: r.queries,
+            reverse=True,
+        )
+        return SinkholeReport(
+            domains_by_verdict=domains_by_verdict,
+            queries_by_verdict=queries_by_verdict,
+            top_suspicious=suspicious[:top_n],
+        )
+
+    def __len__(self) -> int:
+        return len(self._domains)

@@ -1,0 +1,91 @@
+"""Cross-seed robustness validation of the reproduction.
+
+A reproduction that only holds at one seed is a coincidence.  This
+module re-runs the scale and origin shape checks across many seeds and
+reports per-check pass rates, giving a quantitative answer to "does
+the qualitative shape of every figure survive sampling noise at this
+population size?".  The bench harness runs it at the population size
+it ships with; the CLI exposes it as ``repro-nxd validate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.study import NxdomainStudy, StudyConfig
+
+
+@dataclass
+class CheckOutcome:
+    """Pass/fail tally for one named shape check."""
+
+    passes: int = 0
+    failures: int = 0
+    failing_seeds: List[int] = field(default_factory=list)
+
+    @property
+    def runs(self) -> int:
+        return self.passes + self.failures
+
+    @property
+    def pass_rate(self) -> float:
+        return self.passes / self.runs if self.runs else 0.0
+
+
+@dataclass
+class ValidationReport:
+    """Pass rates for every shape check across the seed sweep."""
+
+    seeds: List[int]
+    outcomes: Dict[str, CheckOutcome]
+
+    def worst(self) -> List[tuple]:
+        """(check, pass_rate) rows, least robust first."""
+        rows = [
+            (name, outcome.pass_rate, outcome.failing_seeds)
+            for name, outcome in self.outcomes.items()
+        ]
+        rows.sort(key=lambda row: row[1])
+        return rows
+
+    def overall_pass_rate(self) -> float:
+        total = sum(o.runs for o in self.outcomes.values())
+        if total == 0:
+            return 0.0
+        return sum(o.passes for o in self.outcomes.values()) / total
+
+    def robust(self, threshold: float = 0.8) -> bool:
+        """True when every check passes at least ``threshold`` of runs."""
+        return all(o.pass_rate >= threshold for o in self.outcomes.values())
+
+
+def validate_shapes(
+    seeds: Sequence[int],
+    config: StudyConfig,
+    include_origin: bool = True,
+) -> ValidationReport:
+    """Run the §4 (and optionally §5) shape checks per seed."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    outcomes: Dict[str, CheckOutcome] = {}
+
+    def record(section: str, checks: Dict[str, bool], seed: int) -> None:
+        for name, passed in checks.items():
+            outcome = outcomes.setdefault(f"{section}.{name}", CheckOutcome())
+            if passed:
+                outcome.passes += 1
+            else:
+                outcome.failures += 1
+                outcome.failing_seeds.append(seed)
+
+    for seed in seeds:
+        study = NxdomainStudy(seed=seed, config=config)
+        scale = study.run_scale_analysis()
+        for section, checks in scale.shape_checks().items():
+            record(section, checks, seed)
+        if include_origin:
+            origin = study.run_origin_analysis()
+            for section, checks in origin.shape_checks().items():
+                record(section, checks, seed)
+    return ValidationReport(seeds=list(seeds), outcomes=outcomes)

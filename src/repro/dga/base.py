@@ -1,0 +1,102 @@
+"""Common scaffolding for DGA family implementations.
+
+A family is a deterministic function ``(seed, day_index) -> domains``:
+the same botnet configuration generates the same candidate domains on
+the same day on every infected machine, which is exactly what lets a
+botmaster pre-register a handful of them — and what makes the rest
+show up as synchronized NXDomain query bursts.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.dns.name import DomainName
+
+
+@dataclass(frozen=True)
+class DgaSample:
+    """One generated domain with its provenance."""
+
+    domain: DomainName
+    family: str
+    day_index: int
+
+
+class DgaFamily(abc.ABC):
+    """Base class for one malware family's generation algorithm.
+
+    Subclasses implement :meth:`generate_labels`; the base class
+    handles TLD rotation and :class:`DomainName` construction.
+    """
+
+    #: Family name, matching the malware it is modelled on.
+    name: str = "abstract"
+    #: TLDs the family rotates through.
+    tlds: Tuple[str, ...] = ("com",)
+    #: How many domains the family derives per day.
+    domains_per_day: int = 50
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    @abc.abstractmethod
+    def generate_labels(self, day_index: int, count: int) -> List[str]:
+        """Generate ``count`` second-level labels for day ``day_index``."""
+
+    def domains_for_day(self, day_index: int, count: int = 0) -> List[DgaSample]:
+        """Generate the day's domains (default: ``domains_per_day``)."""
+        if day_index < 0:
+            raise ValueError("day_index must be non-negative")
+        n = count if count > 0 else self.domains_per_day
+        labels = self.generate_labels(day_index, n)
+        samples = []
+        for position, label in enumerate(labels):
+            tld = self.tlds[position % len(self.tlds)]
+            samples.append(
+                DgaSample(
+                    domain=DomainName(f"{label}.{tld}"),
+                    family=self.name,
+                    day_index=day_index,
+                )
+            )
+        return samples
+
+    def stream(self, start_day: int, end_day: int) -> Iterator[DgaSample]:
+        """All samples for the half-open day range [start, end)."""
+        for day in range(start_day, end_day):
+            yield from self.domains_for_day(day)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(seed={self.seed})"
+
+
+class Lcg:
+    """A 32-bit linear congruential generator.
+
+    Real DGAs overwhelmingly use small hand-rolled LCGs (they must run
+    identically on every infected host without library dependencies);
+    families here share this one with family-specific multipliers.
+    """
+
+    MASK = 0xFFFFFFFF
+
+    def __init__(self, state: int, multiplier: int = 1664525, increment: int = 1013904223):
+        self.state = state & self.MASK
+        self.multiplier = multiplier
+        self.increment = increment
+
+    def next(self) -> int:
+        self.state = (self.state * self.multiplier + self.increment) & self.MASK
+        return self.state
+
+    def next_in_range(self, low: int, high: int) -> int:
+        """Uniform-ish integer in [low, high]."""
+        if high < low:
+            raise ValueError("high must be >= low")
+        return low + self.next() % (high - low + 1)
+
+    def pick(self, alphabet: Sequence[str]) -> str:
+        return alphabet[self.next() % len(alphabet)]

@@ -1,0 +1,222 @@
+"""Feature-based DGA detector.
+
+A hand-rolled, dependency-light logistic regression over the lexical
+features of :mod:`repro.dga.features`, standing in for the commercial
+in-line classifier the paper used.  Training data is generated, not
+shipped: positives from the family generators, negatives from the
+benign corpus — see :meth:`DgaDetector.train_default`.
+
+The decision threshold is an explicit parameter because the paper's
+3%-of-expired-domains figure depends on operating-point choice; the
+threshold ablation bench sweeps it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.dns.name import DomainName
+from repro.dga.base import DgaFamily
+from repro.dga.corpus import benign_domains
+from repro.dga.families import ALL_FAMILIES
+from repro.dga.features import FEATURE_NAMES, extract_feature_matrix
+from repro.rand import make_rng
+
+DomainLike = Union[DomainName, str]
+
+
+@dataclass
+class TrainedModel:
+    """Frozen parameters of a trained detector."""
+
+    weights: np.ndarray
+    bias: float
+    feature_mean: np.ndarray
+    feature_std: np.ndarray
+
+    def decision_scores(self, features: np.ndarray) -> np.ndarray:
+        standardized = (features - self.feature_mean) / self.feature_std
+        return standardized @ self.weights + self.bias
+
+    def probabilities(self, features: np.ndarray) -> np.ndarray:
+        return _sigmoid(self.decision_scores(features))
+
+
+@dataclass
+class DetectorMetrics:
+    """Operating-point quality measures."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        total = (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+        return (self.true_positives + self.true_negatives) / total if total else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        denom = self.false_positives + self.true_negatives
+        return self.false_positives / denom if denom else 0.0
+
+
+class DgaDetector:
+    """Logistic-regression DGA classifier.
+
+    >>> detector = DgaDetector.train_default(seed=7)
+    >>> detector.is_dga("xkqzvwplfm.com")
+    True
+    """
+
+    def __init__(self, model: TrainedModel, threshold: float = 0.5) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must lie strictly between 0 and 1")
+        self.model = model
+        self.threshold = threshold
+
+    # -- training --------------------------------------------------------
+
+    @classmethod
+    def train(
+        cls,
+        dga_domains: Sequence[DomainLike],
+        benign: Sequence[DomainLike],
+        threshold: float = 0.5,
+        epochs: int = 300,
+        learning_rate: float = 0.1,
+        l2: float = 1e-3,
+        seed: int = 0,
+    ) -> "DgaDetector":
+        """Fit logistic regression by full-batch gradient descent."""
+        if not dga_domains or not benign:
+            raise ValueError("both classes need at least one sample")
+        features = extract_feature_matrix(list(dga_domains) + list(benign))
+        labels = np.concatenate(
+            [np.ones(len(dga_domains)), np.zeros(len(benign))]
+        )
+        mean = features.mean(axis=0)
+        std = features.std(axis=0)
+        std[std == 0] = 1.0
+        standardized = (features - mean) / std
+
+        rng = make_rng(seed)
+        weights = rng.normal(0, 0.01, size=standardized.shape[1])
+        bias = 0.0
+        n = len(labels)
+        for _ in range(epochs):
+            probabilities = _sigmoid(standardized @ weights + bias)
+            gradient = standardized.T @ (probabilities - labels) / n + l2 * weights
+            bias_gradient = float(np.mean(probabilities - labels))
+            weights -= learning_rate * gradient
+            bias -= learning_rate * bias_gradient
+        model = TrainedModel(weights, bias, mean, std)
+        return cls(model, threshold)
+
+    @classmethod
+    def train_default(
+        cls,
+        seed: int = 0,
+        samples_per_family: int = 400,
+        benign_count: Optional[int] = None,
+        threshold: float = 0.5,
+    ) -> "DgaDetector":
+        """Train on generated samples from every family + benign corpus."""
+        positives: List[DomainName] = []
+        for family_cls in ALL_FAMILIES:
+            family: DgaFamily = family_cls(seed=seed)
+            day = 0
+            collected = 0
+            while collected < samples_per_family:
+                batch = family.domains_for_day(day)
+                for sample in batch:
+                    positives.append(sample.domain)
+                    collected += 1
+                    if collected >= samples_per_family:
+                        break
+                day += 1
+        negatives = benign_domains(
+            make_rng(seed + 1),
+            benign_count if benign_count is not None else len(positives),
+        )
+        return cls.train(positives, negatives, threshold=threshold, seed=seed)
+
+    # -- inference ------------------------------------------------------------
+
+    def probability(self, domain: DomainLike) -> float:
+        """P(domain is DGA-generated)."""
+        return float(self.model.probabilities(extract_feature_matrix([domain]))[0])
+
+    def probabilities(self, domains: Sequence[DomainLike]) -> np.ndarray:
+        return self.model.probabilities(extract_feature_matrix(list(domains)))
+
+    def is_dga(self, domain: DomainLike) -> bool:
+        return self.probability(domain) >= self.threshold
+
+    def classify(self, domains: Sequence[DomainLike]) -> List[bool]:
+        if not domains:
+            return []
+        return list(self.probabilities(domains) >= self.threshold)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(
+        self,
+        dga_domains: Sequence[DomainLike],
+        benign: Sequence[DomainLike],
+        threshold: Optional[float] = None,
+    ) -> DetectorMetrics:
+        """Confusion-matrix metrics at ``threshold`` (default: own)."""
+        cut = threshold if threshold is not None else self.threshold
+        dga_probs = self.probabilities(dga_domains) if dga_domains else np.empty(0)
+        benign_probs = self.probabilities(benign) if benign else np.empty(0)
+        return DetectorMetrics(
+            true_positives=int((dga_probs >= cut).sum()),
+            false_negatives=int((dga_probs < cut).sum()),
+            false_positives=int((benign_probs >= cut).sum()),
+            true_negatives=int((benign_probs < cut).sum()),
+        )
+
+    def threshold_sweep(
+        self,
+        dga_domains: Sequence[DomainLike],
+        benign: Sequence[DomainLike],
+        thresholds: Sequence[float],
+    ) -> List[Tuple[float, DetectorMetrics]]:
+        """Metrics at each threshold (the ablation bench's core)."""
+        return [
+            (t, self.evaluate(dga_domains, benign, threshold=t)) for t in thresholds
+        ]
+
+    def feature_importances(self) -> List[Tuple[str, float]]:
+        """(feature, |weight|) pairs, most influential first."""
+        pairs = list(zip(FEATURE_NAMES, np.abs(self.model.weights)))
+        return sorted(pairs, key=lambda p: p[1], reverse=True)
+
+
+def _sigmoid(values: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(values, -60, 60)))

@@ -1,0 +1,48 @@
+"""Banjori-style DGA.
+
+Banjori is unusual: instead of generating fresh labels it *mutates a
+seed domain*, rewriting only the first four characters with a rolling
+arithmetic over the previous name.  Successive domains therefore share
+a long constant tail — a fingerprint no entropy feature catches, which
+is why detectors need more than randomness scores.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dga.base import DgaFamily
+
+
+def _map_to_lowercase_letter(value: int) -> str:
+    return chr(ord("a") + value % 26)
+
+
+class Banjori(DgaFamily):
+    name = "banjori"
+    tlds = ("com",)
+    domains_per_day = 40
+
+    #: Mutated seed label (the real malware shipped one per campaign).
+    seed_label = "earnestnessbiophysicalohax"
+
+    def generate_labels(self, day_index: int, count: int) -> List[str]:
+        # Advance the rolling mutation day_index*count steps so each
+        # day picks up where the previous left off, like the malware.
+        label = self.seed_label
+        labels = []
+        total_steps = day_index * self.domains_per_day + count
+        for step in range(total_steps):
+            label = self._next_label(label, step)
+            if step >= day_index * self.domains_per_day:
+                labels.append(label)
+        return labels[:count]
+
+    def _next_label(self, label: str, step: int) -> str:
+        chars = list(label)
+        checksum = (sum(ord(c) for c in label) + self.seed + step) & 0xFFFF
+        chars[0] = _map_to_lowercase_letter(checksum)
+        chars[1] = _map_to_lowercase_letter(checksum >> 3)
+        chars[2] = _map_to_lowercase_letter(checksum >> 5)
+        chars[3] = _map_to_lowercase_letter(checksum >> 7)
+        return "".join(chars)

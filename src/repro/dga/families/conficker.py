@@ -1,0 +1,30 @@
+"""Conficker-style DGA.
+
+Conficker.C generated 50,000 candidate domains per day by seeding a
+PRNG from the current date and emitting short (4-10 character) lowercase
+labels across a large TLD set.  The short labels and wide TLD rotation
+are its fingerprint.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dga.base import DgaFamily, Lcg
+
+
+class Conficker(DgaFamily):
+    name = "conficker"
+    tlds = ("com", "net", "org", "info", "biz", "cc", "cn", "ws")
+    domains_per_day = 100
+
+    def generate_labels(self, day_index: int, count: int) -> List[str]:
+        # Date-derived seed: every bot computes the same stream per day.
+        lcg = Lcg((day_index * 0x5DEECE66 + self.seed) & 0xFFFFFFFF)
+        labels = []
+        for _ in range(count):
+            length = lcg.next_in_range(4, 10)
+            labels.append(
+                "".join(chr(ord("a") + lcg.next() % 26) for _ in range(length))
+            )
+        return labels

@@ -1,0 +1,36 @@
+"""Corebot-style DGA.
+
+Corebot drew labels from a mixed letters+digits alphabet (``a``-``y``
+plus digits, skipping ``z``) with an LCG, lengths 12-23, under a single
+dynamic-DNS suffix.  The digit admixture raises its digit-ratio
+feature well above benign names.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dga.base import DgaFamily, Lcg
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxy0123456789"
+
+
+class Corebot(DgaFamily):
+    name = "corebot"
+    # The real malware used the ddns.net dynamic-DNS suffix; the study
+    # operates on registrable (second-level) domains, so we keep the
+    # label under .net directly to stay within that model.
+    tlds = ("net",)
+    domains_per_day = 40
+
+    def generate_labels(self, day_index: int, count: int) -> List[str]:
+        lcg = Lcg(
+            (0x10ADB331 + day_index * 53 + self.seed) & 0xFFFFFFFF,
+            multiplier=1103515245,
+            increment=12345,
+        )
+        labels = []
+        for _ in range(count):
+            length = lcg.next_in_range(12, 23)
+            labels.append("".join(lcg.pick(_ALPHABET) for _ in range(length)))
+        return labels

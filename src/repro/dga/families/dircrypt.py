@@ -1,0 +1,28 @@
+"""DirCrypt-style DGA.
+
+DirCrypt (ransomware) generated 8-20 character all-letter labels with a
+plain LCG under .com only — the archetypal "random letters dot com"
+family and the easiest fingerprint for entropy-based detectors.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dga.base import DgaFamily, Lcg
+
+
+class Dircrypt(DgaFamily):
+    name = "dircrypt"
+    tlds = ("com",)
+    domains_per_day = 30
+
+    def generate_labels(self, day_index: int, count: int) -> List[str]:
+        lcg = Lcg((self.seed + 0x4A21 * (day_index + 1)) & 0xFFFFFFFF)
+        labels = []
+        for _ in range(count):
+            length = lcg.next_in_range(8, 20)
+            labels.append(
+                "".join(chr(ord("a") + lcg.next() % 26) for _ in range(length))
+            )
+        return labels

@@ -1,0 +1,35 @@
+"""Kraken/Bobax-style DGA.
+
+Kraken built pronounceable-ish labels by alternating draws from a
+consonant-weighted alphabet and appending one of a few fixed suffixes
+("-land" style affixes in some variants), over dynamic-DNS-ish TLDs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dga.base import DgaFamily, Lcg
+
+_CONSONANTS = "bcdfghklmnprstvz"
+_VOWELS = "aeiou"
+_SUFFIXES = ("", "", "", "dns", "net", "box")
+
+
+class Kraken(DgaFamily):
+    name = "kraken"
+    tlds = ("com", "net", "tv", "cc")
+    domains_per_day = 32
+
+    def generate_labels(self, day_index: int, count: int) -> List[str]:
+        lcg = Lcg((self.seed ^ (day_index * 0x1B0CADE1)) & 0xFFFFFFFF, multiplier=69069)
+        labels = []
+        for _ in range(count):
+            pairs = lcg.next_in_range(3, 5)
+            chars = []
+            for _ in range(pairs):
+                chars.append(lcg.pick(_CONSONANTS))
+                chars.append(lcg.pick(_VOWELS))
+            label = "".join(chars) + lcg.pick(_SUFFIXES)
+            labels.append(label)
+        return labels

@@ -1,0 +1,39 @@
+"""Locky-style DGA.
+
+Locky's generator mixed the date with per-campaign constants through
+shift-xor rounds, producing 7-11 character labels rotated through a
+mid-sized ccTLD-heavy suffix list that changed per variant.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dga.base import DgaFamily
+
+
+class Locky(DgaFamily):
+    name = "locky"
+    tlds = ("ru", "info", "biz", "click", "work", "pl")
+    domains_per_day = 12
+
+    def generate_labels(self, day_index: int, count: int) -> List[str]:
+        labels = []
+        for position in range(count):
+            state = (self.seed ^ 0xB11A2F7E) & 0xFFFFFFFF
+            # Shift-xor mixing of date and position, Locky-fashion.
+            state = (state + day_index * 0x1000193) & 0xFFFFFFFF
+            state ^= (state << 13) & 0xFFFFFFFF
+            state ^= state >> 17
+            state = (state + position * 0x85EBCA6B) & 0xFFFFFFFF
+            state ^= (state << 5) & 0xFFFFFFFF
+            length = 7 + state % 5
+            chars = []
+            for _ in range(length):
+                state ^= (state << 13) & 0xFFFFFFFF
+                state ^= state >> 17
+                state ^= (state << 5) & 0xFFFFFFFF
+                state &= 0xFFFFFFFF
+                chars.append(chr(ord("a") + state % 25))
+            labels.append("".join(chars))
+        return labels

@@ -1,0 +1,33 @@
+"""Matsnu-style dictionary DGA.
+
+Matsnu concatenated dictionary verbs and nouns into 24+ character
+labels under .com, explicitly to defeat character-frequency detectors.
+Its fingerprint is *length* plus word structure, not entropy.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dga.base import DgaFamily, Lcg
+from repro.dga.wordlists import NOUNS, VERBS
+
+
+class Matsnu(DgaFamily):
+    name = "matsnu"
+    tlds = ("com",)
+    domains_per_day = 10
+
+    MIN_LENGTH = 24
+
+    def generate_labels(self, day_index: int, count: int) -> List[str]:
+        lcg = Lcg((self.seed + day_index * 0x9E3779B9) & 0xFFFFFFFF)
+        labels = []
+        for _ in range(count):
+            parts: List[str] = []
+            # Alternate verb/noun until the minimum length is reached.
+            while sum(len(p) for p in parts) < self.MIN_LENGTH:
+                pool = VERBS if len(parts) % 2 == 0 else NOUNS
+                parts.append(pool[lcg.next() % len(pool)])
+            labels.append("".join(parts)[:40])
+        return labels

@@ -1,0 +1,40 @@
+"""Murofet/LICAT-style DGA.
+
+Murofet (a Zeus variant) derived each label by summing scaled MD5-ish
+byte mixes of the date, emitting letters only, length ~12-16, rotating
+through five TLDs — an early high-volume date-locked family.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dga.base import DgaFamily
+
+
+class Murofet(DgaFamily):
+    name = "murofet"
+    tlds = ("biz", "info", "org", "net", "com")
+    domains_per_day = 60
+
+    def generate_labels(self, day_index: int, count: int) -> List[str]:
+        labels = []
+        year_ish = 2014 + day_index // 365
+        month_ish = 1 + (day_index // 30) % 12
+        day_ish = 1 + day_index % 30
+        for position in range(count):
+            chars = []
+            state = (self.seed + position * 7) & 0xFFFFFFFF
+            length = 12 + (day_index + position) % 5
+            for i in range(length):
+                # Byte-mix of date fields, as in the malware's loop.
+                state = (
+                    state * 0x35
+                    + year_ish * (i + 1)
+                    + month_ish * (i + 3)
+                    + day_ish * (i + 5)
+                    + position
+                ) & 0xFFFFFFFF
+                chars.append(chr(ord("a") + state % 25))
+            labels.append("".join(chars))
+        return labels

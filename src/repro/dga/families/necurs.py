@@ -1,0 +1,40 @@
+"""Necurs-style DGA.
+
+Necurs generated 2,048 domains per four-day period with a multiply-xor
+PRNG, labels 8-21 characters over 43 TLDs; its four-day epoch (rather
+than daily) is modelled by deriving the seed from ``day_index // 4``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dga.base import DgaFamily
+
+
+class Necurs(DgaFamily):
+    name = "necurs"
+    tlds = (
+        "com", "net", "org", "info", "biz", "ru", "de", "uk", "nl", "fr",
+        "in", "pl", "se", "tw", "jp", "kr",
+    )
+    domains_per_day = 48
+
+    def generate_labels(self, day_index: int, count: int) -> List[str]:
+        epoch = day_index // 4  # four-day generation period
+        labels = []
+        for position in range(count):
+            state = (self.seed + epoch * 0xB851EB85 + position) & 0xFFFFFFFF
+            length = 8 + self._rand_step(state) % 14
+            chars = []
+            for _ in range(length):
+                state = self._rand_step(state)
+                chars.append(chr(ord("a") + state % 25))
+            labels.append("".join(chars))
+        return labels
+
+    @staticmethod
+    def _rand_step(state: int) -> int:
+        state = (state * 0x41C64E6D + 0x3039) & 0xFFFFFFFF
+        state ^= state >> 15
+        return state & 0xFFFFFFFF

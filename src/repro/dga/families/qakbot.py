@@ -1,0 +1,31 @@
+"""Qakbot-style DGA.
+
+Qakbot seeded a Mersenne-ish PRNG from a CRC over the date string plus
+a campaign salt, generating 8-25 character labels over five TLDs in
+ten-day epochs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List
+
+from repro.dga.base import DgaFamily, Lcg
+
+
+class Qakbot(DgaFamily):
+    name = "qakbot"
+    tlds = ("com", "net", "org", "info", "biz")
+    domains_per_day = 50
+
+    def generate_labels(self, day_index: int, count: int) -> List[str]:
+        epoch = day_index // 10  # ten-day generation period
+        date_blob = f"qakbot-{epoch}-{self.seed}".encode("ascii")
+        lcg = Lcg(zlib.crc32(date_blob) & 0xFFFFFFFF, multiplier=22695477)
+        labels = []
+        for _ in range(count):
+            length = lcg.next_in_range(8, 25)
+            labels.append(
+                "".join(chr(ord("a") + lcg.next() % 26) for _ in range(length))
+            )
+        return labels

@@ -1,0 +1,39 @@
+"""Ramnit-style DGA.
+
+Ramnit's generator squares its state modulo a large prime and extracts
+letters from the high bits — distinctive in that its stream is seeded
+once per campaign, not per day, so the *same* domain list is polled
+every day (modelled by ignoring all but the slow epoch component).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dga.base import DgaFamily
+
+_MODULUS = 2**31 - 1
+
+
+class Ramnit(DgaFamily):
+    name = "ramnit"
+    tlds = ("com",)
+    domains_per_day = 25
+
+    def generate_labels(self, day_index: int, count: int) -> List[str]:
+        # Campaign-seeded: day only shifts the window, slowly.
+        window = day_index // 90
+        state = (self.seed % _MODULUS) or 0xD5A2
+        labels = []
+        skip = window * count
+        for position in range(skip + count):
+            state = (state * state) % _MODULUS or 0xD5A2
+            length = 8 + state % 9
+            chars = []
+            inner = state
+            for _ in range(length):
+                inner = (inner * inner) % _MODULUS or 0x1D5A2
+                chars.append(chr(ord("a") + inner % 26))
+            if position >= skip:
+                labels.append("".join(chars))
+        return labels

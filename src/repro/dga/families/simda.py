@@ -1,0 +1,33 @@
+"""Simda-style DGA.
+
+Simda built pronounceable labels from fixed consonant-vowel syllable
+tables ("qe", "tu", "pa", ...), making names that pass casual human
+inspection; length is short (6-12) and the TLD set tiny.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dga.base import DgaFamily, Lcg
+
+_SYLLABLES = (
+    "qe", "tu", "pa", "lo", "mi", "ve", "ry", "da", "no", "su",
+    "gi", "ka", "be", "fo", "xa", "ze", "wi", "hu", "ce", "ny",
+)
+
+
+class Simda(DgaFamily):
+    name = "simda"
+    tlds = ("com", "info", "eu")
+    domains_per_day = 20
+
+    def generate_labels(self, day_index: int, count: int) -> List[str]:
+        lcg = Lcg((self.seed * 0x5851F42D + day_index) & 0xFFFFFFFF)
+        labels = []
+        for _ in range(count):
+            syllable_count = lcg.next_in_range(3, 6)
+            labels.append(
+                "".join(lcg.pick(_SYLLABLES) for _ in range(syllable_count))
+            )
+        return labels

@@ -1,0 +1,29 @@
+"""Suppobox-style dictionary DGA.
+
+Suppobox concatenated exactly two English words per label, drawn from
+shipped wordlists with a time-derived index — the canonical detector-
+evading dictionary family the paper's 0.62%-registered statistic (via
+Plohmann et al.) includes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dga.base import DgaFamily, Lcg
+from repro.dga.wordlists import NOUNS, VERBS
+
+
+class Suppobox(DgaFamily):
+    name = "suppobox"
+    tlds = ("net", "ru", "com")
+    domains_per_day = 85
+
+    def generate_labels(self, day_index: int, count: int) -> List[str]:
+        lcg = Lcg((self.seed ^ 0x517E1E77) + day_index * 512 & 0xFFFFFFFF)
+        labels = []
+        for _ in range(count):
+            first = VERBS[lcg.next() % len(VERBS)]
+            second = NOUNS[lcg.next() % len(NOUNS)]
+            labels.append(first + second)
+        return labels

@@ -1,0 +1,64 @@
+"""Word material for dictionary-based DGAs and benign name synthesis.
+
+Dictionary DGAs (Suppobox, Matsnu) concatenate natural-language words
+precisely to evade character-statistics detectors; the same word pools
+also seed the *benign* training names for the detector, which keeps the
+classification problem honest — the detector cannot win by spotting
+that benign names use words and DGA names don't.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Common English nouns (used by Matsnu-style noun-verb-noun names).
+NOUNS: Tuple[str, ...] = (
+    "time", "year", "people", "way", "day", "man", "thing", "woman", "life",
+    "child", "world", "school", "state", "family", "student", "group",
+    "country", "problem", "hand", "part", "place", "case", "week", "company",
+    "system", "program", "question", "work", "number", "night", "point",
+    "home", "water", "room", "mother", "area", "money", "story", "fact",
+    "month", "lot", "right", "study", "book", "eye", "job", "word",
+    "business", "issue", "side", "kind", "head", "house", "service",
+    "friend", "father", "power", "hour", "game", "line", "end", "member",
+    "law", "car", "city", "community", "name", "president", "team", "minute",
+    "idea", "kid", "body", "info", "back", "parent", "face", "others",
+    "level", "office", "door", "health", "person", "art", "war", "history",
+    "party", "result", "change", "morning", "reason", "research", "girl",
+    "guy", "moment", "air", "teacher", "force", "education",
+)
+
+#: Common English verbs (used by Suppobox/Matsnu-style names).
+VERBS: Tuple[str, ...] = (
+    "be", "have", "do", "say", "get", "make", "go", "know", "take", "see",
+    "come", "think", "look", "want", "give", "use", "find", "tell", "ask",
+    "seem", "feel", "try", "leave", "call", "work", "need", "become", "mean",
+    "keep", "let", "begin", "help", "talk", "turn", "start", "show", "hear",
+    "play", "run", "move", "like", "live", "believe", "hold", "bring",
+    "happen", "write", "provide", "sit", "stand", "lose", "pay", "meet",
+    "include", "continue", "set", "learn", "lead", "understand", "watch",
+    "follow", "stop", "create", "speak", "read", "allow", "add", "spend",
+    "grow", "open", "walk", "win", "offer", "remember", "love", "consider",
+    "appear", "buy", "wait", "serve", "send", "expect", "build", "stay",
+    "fall", "cut", "reach", "kill", "remain",
+)
+
+#: Adjective/brandable fragments (benign name synthesis).
+ADJECTIVES: Tuple[str, ...] = (
+    "good", "new", "first", "last", "long", "great", "little", "own",
+    "other", "old", "big", "high", "small", "large", "next", "early",
+    "young", "important", "few", "public", "bad", "same", "able", "best",
+    "better", "free", "true", "easy", "full", "strong", "special", "whole",
+    "real", "major", "happy", "smart", "quick", "bright", "fresh", "prime",
+    "rapid", "solid", "super", "ultra", "mega", "micro", "digital", "cyber",
+    "cloud", "net", "web", "online", "global", "local", "daily", "direct",
+)
+
+#: Suffix fragments common in legitimately registered names.
+BRAND_SUFFIXES: Tuple[str, ...] = (
+    "ly", "ify", "hub", "lab", "labs", "app", "apps", "base", "box", "bot",
+    "kit", "zone", "spot", "mart", "shop", "store", "cast", "desk", "dock",
+    "feed", "flow", "gram", "io", "land", "link", "list", "loop", "mind",
+    "nest", "pad", "path", "pix", "port", "post", "pro", "rank", "scope",
+    "sense", "space", "stack", "tap", "tech", "wave", "wise", "works",
+)

@@ -1,0 +1,328 @@
+"""DNS wire format codec (RFC 1035 §4.1) with name compression.
+
+The codec is exercised by the sensor pipeline: passive DNS sensors in
+:mod:`repro.passivedns` observe responses as wire-format blobs, decode
+them, and emit channel records — mirroring how SIE sensors sit on the
+wire.  Encoding/decoding round-trips are property-tested.
+
+Supported RDATA encodings: A, AAAA, NS, CNAME, PTR, MX, TXT, SOA.
+Unknown types round-trip as opaque hex blobs.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from typing import Dict, List, Tuple
+
+from repro.dns.message import (
+    DnsMessage,
+    OpCode,
+    Question,
+    RCode,
+    ResourceRecord,
+    RRClass,
+    RRType,
+    SoaData,
+)
+from repro.dns.name import DomainName
+from repro.errors import WireFormatError
+
+_MAX_POINTER_OFFSET = 0x3FFF
+_POINTER_MASK = 0xC0
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+
+
+class _Encoder:
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+        # Maps label tuples to the offset of their first occurrence so
+        # later occurrences can be emitted as compression pointers.
+        self._offsets: Dict[Tuple[str, ...], int] = {}
+
+    def pack(self, fmt: str, *values: int) -> None:
+        self.buffer += struct.pack(fmt, *values)
+
+    def write_name(self, name: DomainName) -> None:
+        labels = name.labels
+        index = 0
+        while index < len(labels):
+            suffix = labels[index:]
+            offset = self._offsets.get(suffix)
+            if offset is not None and offset <= _MAX_POINTER_OFFSET:
+                self.pack("!H", 0xC000 | offset)
+                return
+            if len(self.buffer) <= _MAX_POINTER_OFFSET:
+                self._offsets[suffix] = len(self.buffer)
+            label = labels[index]
+            raw = label.encode("ascii")
+            self.buffer.append(len(raw))
+            self.buffer += raw
+            index += 1
+        self.buffer.append(0)
+
+    def write_name_uncompressed(self, name: DomainName) -> bytes:
+        """Encode a name standalone (used inside RDATA length accounting)."""
+        out = bytearray()
+        for label in name.labels:
+            raw = label.encode("ascii")
+            out.append(len(raw))
+            out += raw
+        out.append(0)
+        return bytes(out)
+
+
+def _encode_rdata(encoder: _Encoder, rr: ResourceRecord) -> None:
+    """Append the RDLENGTH+RDATA of ``rr`` to the encoder buffer."""
+    if rr.rtype == RRType.A:
+        try:
+            raw = ipaddress.IPv4Address(rr.rdata).packed
+        except ValueError as exc:
+            raise WireFormatError(f"bad A rdata {rr.rdata!r}") from exc
+    elif rr.rtype == RRType.AAAA:
+        try:
+            raw = ipaddress.IPv6Address(rr.rdata).packed
+        except ValueError as exc:
+            raise WireFormatError(f"bad AAAA rdata {rr.rdata!r}") from exc
+    elif rr.rtype in (RRType.NS, RRType.CNAME, RRType.PTR):
+        raw = encoder.write_name_uncompressed(DomainName(rr.rdata))
+    elif rr.rtype == RRType.MX:
+        pref_text, _, target = rr.rdata.partition(" ")
+        try:
+            pref = int(pref_text)
+        except ValueError as exc:
+            raise WireFormatError(f"bad MX rdata {rr.rdata!r}") from exc
+        raw = struct.pack("!H", pref) + encoder.write_name_uncompressed(
+            DomainName(target)
+        )
+    elif rr.rtype == RRType.TXT:
+        payload = rr.rdata.encode("utf-8")
+        chunks = [payload[i : i + 255] for i in range(0, len(payload), 255)] or [b""]
+        raw = b"".join(bytes([len(c)]) + c for c in chunks)
+    elif rr.rtype == RRType.SOA:
+        soa = rr.soa
+        if soa is None:
+            raise WireFormatError("SOA record missing structured data")
+        raw = (
+            encoder.write_name_uncompressed(soa.mname)
+            + encoder.write_name_uncompressed(soa.rname)
+            + struct.pack(
+                "!IIIII", soa.serial, soa.refresh, soa.retry, soa.expire, soa.minimum
+            )
+        )
+    else:
+        try:
+            raw = bytes.fromhex(rr.rdata)
+        except ValueError as exc:
+            raise WireFormatError(
+                f"unsupported rtype {rr.rtype} needs hex rdata"
+            ) from exc
+    if len(raw) > 0xFFFF:
+        raise WireFormatError("RDATA exceeds 65535 octets")
+    encoder.pack("!H", len(raw))
+    encoder.buffer += raw
+
+
+def _encode_record(encoder: _Encoder, rr: ResourceRecord) -> None:
+    encoder.write_name(rr.name)
+    encoder.pack("!HHI", int(rr.rtype), int(rr.rclass), rr.ttl)
+    _encode_rdata(encoder, rr)
+
+
+def encode_message(message: DnsMessage) -> bytes:
+    """Serialize ``message`` to RFC 1035 wire format."""
+    encoder = _Encoder()
+    flags = 0
+    if message.is_response:
+        flags |= 0x8000
+    flags |= (int(message.opcode) & 0xF) << 11
+    if message.authoritative:
+        flags |= 0x0400
+    if message.truncated:
+        flags |= 0x0200
+    if message.recursion_desired:
+        flags |= 0x0100
+    if message.recursion_available:
+        flags |= 0x0080
+    flags |= int(message.rcode) & 0xF
+    encoder.pack(
+        "!HHHHHH",
+        message.msg_id & 0xFFFF,
+        flags,
+        len(message.questions),
+        len(message.answers),
+        len(message.authorities),
+        len(message.additionals),
+    )
+    for question in message.questions:
+        encoder.write_name(question.name)
+        encoder.pack("!HH", int(question.rtype), int(question.rclass))
+    for section in (message.answers, message.authorities, message.additionals):
+        for rr in section:
+            _encode_record(encoder, rr)
+    return bytes(encoder.buffer)
+
+
+# ---------------------------------------------------------------------------
+# decoding
+# ---------------------------------------------------------------------------
+
+
+class _Decoder:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def need(self, count: int) -> None:
+        if self.pos + count > len(self.data):
+            raise WireFormatError(
+                f"message truncated at offset {self.pos} (need {count} bytes)"
+            )
+
+    def unpack(self, fmt: str) -> Tuple[int, ...]:
+        size = struct.calcsize(fmt)
+        self.need(size)
+        values = struct.unpack_from(fmt, self.data, self.pos)
+        self.pos += size
+        return values
+
+    def read_bytes(self, count: int) -> bytes:
+        self.need(count)
+        raw = self.data[self.pos : self.pos + count]
+        self.pos += count
+        return raw
+
+    def read_name(self) -> DomainName:
+        labels, self.pos = self._read_name_at(self.pos, set())
+        return DomainName.from_labels(tuple(labels)) if labels else DomainName.root()
+
+    def _read_name_at(self, pos: int, seen: set) -> Tuple[List[str], int]:
+        labels: List[str] = []
+        while True:
+            if pos >= len(self.data):
+                raise WireFormatError("name runs past end of message")
+            length = self.data[pos]
+            if length & _POINTER_MASK == _POINTER_MASK:
+                if pos + 1 >= len(self.data):
+                    raise WireFormatError("truncated compression pointer")
+                target = ((length & 0x3F) << 8) | self.data[pos + 1]
+                if target in seen:
+                    raise WireFormatError("compression pointer loop")
+                seen.add(target)
+                tail, _ = self._read_name_at(target, seen)
+                return labels + tail, pos + 2
+            if length & _POINTER_MASK:
+                raise WireFormatError(f"reserved label type 0x{length:02x}")
+            pos += 1
+            if length == 0:
+                return labels, pos
+            if pos + length > len(self.data):
+                raise WireFormatError("label runs past end of message")
+            try:
+                labels.append(
+                    self.data[pos : pos + length].decode("ascii").lower()
+                )
+            except UnicodeDecodeError as exc:
+                raise WireFormatError("non-ASCII label") from exc
+            pos += length
+
+
+def _decode_rdata(
+    decoder: _Decoder, rtype: RRType, rdlength: int
+) -> Tuple[str, "SoaData | None"]:
+    end = decoder.pos + rdlength
+    soa = None
+    if rtype == RRType.A:
+        rdata = str(ipaddress.IPv4Address(decoder.read_bytes(4)))
+    elif rtype == RRType.AAAA:
+        rdata = str(ipaddress.IPv6Address(decoder.read_bytes(16)))
+    elif rtype in (RRType.NS, RRType.CNAME, RRType.PTR):
+        rdata = str(decoder.read_name())
+    elif rtype == RRType.MX:
+        (pref,) = decoder.unpack("!H")
+        rdata = f"{pref} {decoder.read_name()}"
+    elif rtype == RRType.TXT:
+        parts = []
+        while decoder.pos < end:
+            (length,) = decoder.unpack("!B")
+            parts.append(decoder.read_bytes(length).decode("utf-8", "replace"))
+        rdata = "".join(parts)
+    elif rtype == RRType.SOA:
+        mname = decoder.read_name()
+        rname = decoder.read_name()
+        serial, refresh, retry, expire, minimum = decoder.unpack("!IIIII")
+        soa = SoaData(mname, rname, serial, refresh, retry, expire, minimum)
+        rdata = f"{mname} {rname} {serial} {refresh} {retry} {expire} {minimum}"
+    else:
+        rdata = decoder.read_bytes(rdlength).hex()
+    if decoder.pos != end:
+        raise WireFormatError(
+            f"RDATA length mismatch for {rtype}: expected end {end}, at {decoder.pos}"
+        )
+    return rdata, soa
+
+
+def _decode_record(decoder: _Decoder) -> ResourceRecord:
+    name = decoder.read_name()
+    rtype_raw, rclass_raw, ttl = decoder.unpack("!HHI")
+    (rdlength,) = decoder.unpack("!H")
+    try:
+        rtype = RRType(rtype_raw)
+    except ValueError:
+        # Unknown type: keep the payload opaque.
+        raw = decoder.read_bytes(rdlength)
+        return ResourceRecord(name, RRType.TXT, ttl, raw.hex())
+    rdata, soa = _decode_rdata(decoder, rtype, rdlength)
+    return ResourceRecord(
+        name, rtype, ttl, rdata, rclass=RRClass(rclass_raw), soa=soa
+    )
+
+
+def decode_message(data: bytes) -> DnsMessage:
+    """Parse RFC 1035 wire format into a :class:`DnsMessage`."""
+    decoder = _Decoder(data)
+    msg_id, flags, qcount, ancount, nscount, arcount = decoder.unpack("!HHHHHH")
+    try:
+        opcode = OpCode((flags >> 11) & 0xF)
+    except ValueError as exc:
+        raise WireFormatError(f"unsupported opcode {(flags >> 11) & 0xF}") from exc
+    try:
+        rcode = RCode(flags & 0xF)
+    except ValueError as exc:
+        raise WireFormatError(f"unsupported rcode {flags & 0xF}") from exc
+    message = DnsMessage(
+        msg_id=msg_id,
+        is_response=bool(flags & 0x8000),
+        opcode=opcode,
+        authoritative=bool(flags & 0x0400),
+        truncated=bool(flags & 0x0200),
+        recursion_desired=bool(flags & 0x0100),
+        recursion_available=bool(flags & 0x0080),
+        rcode=rcode,
+    )
+    for _ in range(qcount):
+        name = decoder.read_name()
+        rtype_raw, rclass_raw = decoder.unpack("!HH")
+        try:
+            rtype = RRType(rtype_raw)
+            rclass = RRClass(rclass_raw)
+        except ValueError as exc:
+            raise WireFormatError(
+                f"unsupported question type/class {rtype_raw}/{rclass_raw}"
+            ) from exc
+        message.questions.append(Question(name, rtype, rclass))
+    for _ in range(ancount):
+        message.answers.append(_decode_record(decoder))
+    for _ in range(nscount):
+        message.authorities.append(_decode_record(decoder))
+    for _ in range(arcount):
+        message.additionals.append(_decode_record(decoder))
+    if decoder.pos != len(data):
+        raise WireFormatError(
+            f"{len(data) - decoder.pos} trailing bytes after message"
+        )
+    return message

@@ -1,0 +1,267 @@
+"""RFC 1035 master-file ("zone file") parsing and serialization.
+
+Lets zones move in and out of the standard text format:
+
+    $ORIGIN example.com.
+    $TTL 3600
+    @       IN SOA   ns1.example.com. hostmaster.example.com. (
+                      1 7200 3600 1209600 3600 )
+    @       IN NS    ns1.example.com.
+    www     IN A     93.184.216.34
+
+Supported: ``$ORIGIN`` / ``$TTL`` directives, ``@`` for the origin,
+relative and absolute owner names, per-record TTLs, comments,
+parenthesized multi-line records (the SOA idiom), and the record types
+of :class:`repro.dns.message.RRType`.  Unsupported syntax raises
+:class:`~repro.errors.ZoneError` with a line number.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.dns.message import ResourceRecord, RRClass, RRType, SoaData
+from repro.dns.name import DomainName
+from repro.dns.zone import Zone
+from repro.errors import DomainNameError, ZoneError
+
+DEFAULT_TTL = 3600
+
+
+def parse_zone_file(text: str, origin: Optional[DomainName] = None) -> Zone:
+    """Parse master-file text into a :class:`Zone`.
+
+    ``origin`` seeds ``$ORIGIN`` when the file doesn't declare one
+    before its first record.
+    """
+    records: List[ResourceRecord] = []
+    soa_record: Optional[ResourceRecord] = None
+    current_origin = origin
+    default_ttl = DEFAULT_TTL
+    last_owner: Optional[DomainName] = None
+
+    for line_number, logical in _logical_lines(text):
+        tokens = logical.split()
+        if not tokens:
+            continue
+        directive = tokens[0].upper()
+        if directive == "$ORIGIN":
+            if len(tokens) != 2:
+                raise ZoneError(f"line {line_number}: $ORIGIN needs one name")
+            current_origin = _parse_name(tokens[1], None, line_number)
+            continue
+        if directive == "$TTL":
+            if len(tokens) != 2 or not tokens[1].isdigit():
+                raise ZoneError(f"line {line_number}: $TTL needs an integer")
+            default_ttl = int(tokens[1])
+            continue
+        if directive.startswith("$"):
+            raise ZoneError(f"line {line_number}: unsupported directive {tokens[0]}")
+
+        owner, tokens = _parse_owner(
+            tokens, logical, current_origin, last_owner, line_number
+        )
+        last_owner = owner
+        ttl, rrclass, rtype_token, rdata_tokens = _parse_fields(
+            tokens, default_ttl, line_number
+        )
+        try:
+            rtype = RRType[rtype_token.upper()]
+        except KeyError:
+            raise ZoneError(
+                f"line {line_number}: unsupported record type {rtype_token!r}"
+            ) from None
+        record = _build_record(
+            owner, rtype, ttl, rrclass, rdata_tokens, current_origin, line_number
+        )
+        if rtype == RRType.SOA:
+            if soa_record is not None:
+                raise ZoneError(f"line {line_number}: duplicate SOA")
+            soa_record = record
+        else:
+            records.append(record)
+
+    if current_origin is None:
+        raise ZoneError("zone file has no $ORIGIN and no origin was supplied")
+    if soa_record is None:
+        raise ZoneError(f"zone {current_origin} has no SOA record")
+    zone = Zone(current_origin, soa_record)
+    for record in records:
+        zone.add(record)
+    return zone
+
+
+def serialize_zone(zone: Zone) -> str:
+    """Render a zone back to master-file text (parse round-trips)."""
+    lines = [f"$ORIGIN {zone.apex}.", f"$TTL {DEFAULT_TTL}", ""]
+    lines.append(_format_record(zone.soa, zone.apex))
+    for record in zone.records():
+        if record.rtype != RRType.SOA:
+            lines.append(_format_record(record, zone.apex))
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# internals
+# ---------------------------------------------------------------------------
+
+
+def _logical_lines(text: str):
+    """Comment-stripped lines with parentheses groups joined."""
+    buffer = ""
+    depth = 0
+    start_line = 0
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        depth += line.count("(") - line.count(")")
+        if depth < 0:
+            raise ZoneError(f"line {number}: unbalanced ')'")
+        if buffer:
+            buffer += " " + line
+        else:
+            buffer = line
+            start_line = number
+        if depth == 0:
+            if buffer.strip():
+                yield start_line, buffer.replace("(", " ").replace(")", " ")
+            buffer = ""
+    if depth != 0:
+        raise ZoneError(f"line {start_line}: unclosed '('")
+
+
+def _strip_comment(line: str) -> str:
+    index = line.find(";")
+    return line if index == -1 else line[:index]
+
+
+def _parse_owner(
+    tokens: List[str],
+    logical: str,
+    origin: Optional[DomainName],
+    last_owner: Optional[DomainName],
+    line_number: int,
+) -> Tuple[DomainName, List[str]]:
+    # A line starting with whitespace inherits the previous owner.
+    if logical[:1].isspace():
+        if last_owner is None:
+            raise ZoneError(f"line {line_number}: no previous owner to inherit")
+        return last_owner, tokens
+    owner_token, rest = tokens[0], tokens[1:]
+    return _parse_name(owner_token, origin, line_number), rest
+
+
+def _parse_name(
+    token: str, origin: Optional[DomainName], line_number: int
+) -> DomainName:
+    try:
+        if token == "@":
+            if origin is None:
+                raise ZoneError(f"line {line_number}: '@' with no $ORIGIN")
+            return origin
+        if token.endswith("."):
+            return DomainName(token)
+        if origin is None:
+            raise ZoneError(
+                f"line {line_number}: relative name {token!r} with no $ORIGIN"
+            )
+        return DomainName(f"{token}.{origin}")
+    except DomainNameError as exc:
+        raise ZoneError(f"line {line_number}: bad name {token!r}: {exc}") from exc
+
+
+def _parse_fields(
+    tokens: List[str], default_ttl: int, line_number: int
+) -> Tuple[int, RRClass, str, List[str]]:
+    """[TTL] [class] type rdata... in either TTL/class order."""
+    ttl = default_ttl
+    rrclass = RRClass.IN
+    index = 0
+    for _ in range(2):
+        if index < len(tokens) and tokens[index].isdigit():
+            ttl = int(tokens[index])
+            index += 1
+        elif index < len(tokens) and tokens[index].upper() in ("IN", "ANY"):
+            rrclass = RRClass[tokens[index].upper()]
+            index += 1
+    if index >= len(tokens):
+        raise ZoneError(f"line {line_number}: missing record type")
+    return ttl, rrclass, tokens[index], tokens[index + 1 :]
+
+
+def _build_record(
+    owner: DomainName,
+    rtype: RRType,
+    ttl: int,
+    rrclass: RRClass,
+    rdata_tokens: List[str],
+    origin: Optional[DomainName],
+    line_number: int,
+) -> ResourceRecord:
+    if rtype == RRType.SOA:
+        if len(rdata_tokens) != 7:
+            raise ZoneError(
+                f"line {line_number}: SOA needs 7 fields, got {len(rdata_tokens)}"
+            )
+        mname = _parse_name(rdata_tokens[0], origin, line_number)
+        rname = _parse_name(rdata_tokens[1], origin, line_number)
+        try:
+            numbers = [int(t) for t in rdata_tokens[2:]]
+        except ValueError:
+            raise ZoneError(f"line {line_number}: non-numeric SOA timers") from None
+        soa = SoaData(mname, rname, *numbers)
+        rdata = (
+            f"{mname} {rname} {soa.serial} {soa.refresh} {soa.retry} "
+            f"{soa.expire} {soa.minimum}"
+        )
+        return ResourceRecord(owner, rtype, ttl, rdata, rrclass, soa=soa)
+    if not rdata_tokens:
+        raise ZoneError(f"line {line_number}: missing RDATA")
+    if rtype in (RRType.NS, RRType.CNAME, RRType.PTR):
+        target = _parse_name(rdata_tokens[0], origin, line_number)
+        return ResourceRecord(owner, rtype, ttl, str(target), rrclass)
+    if rtype == RRType.MX:
+        if len(rdata_tokens) != 2 or not rdata_tokens[0].isdigit():
+            raise ZoneError(f"line {line_number}: MX needs 'pref target'")
+        target = _parse_name(rdata_tokens[1], origin, line_number)
+        return ResourceRecord(
+            owner, rtype, ttl, f"{rdata_tokens[0]} {target}", rrclass
+        )
+    if rtype == RRType.TXT:
+        joined = " ".join(rdata_tokens)
+        if joined.startswith('"') and joined.endswith('"') and len(joined) >= 2:
+            joined = joined[1:-1]
+        return ResourceRecord(owner, rtype, ttl, joined, rrclass)
+    # A / AAAA and anything address-like: single token.
+    return ResourceRecord(owner, rtype, ttl, rdata_tokens[0], rrclass)
+
+
+def _format_record(record: ResourceRecord, apex: DomainName) -> str:
+    owner = _relative_owner(record.name, apex)
+    if record.rtype in (RRType.NS, RRType.CNAME, RRType.PTR):
+        rdata = record.rdata.rstrip(".") + "."
+    elif record.rtype == RRType.MX:
+        pref, _, target = record.rdata.partition(" ")
+        rdata = f"{pref} {target.rstrip('.')}."
+    elif record.rtype == RRType.SOA and record.soa is not None:
+        soa = record.soa
+        rdata = (
+            f"{soa.mname}. {soa.rname}. ( {soa.serial} {soa.refresh} "
+            f"{soa.retry} {soa.expire} {soa.minimum} )"
+        )
+    elif record.rtype == RRType.TXT:
+        rdata = f'"{record.rdata}"'
+    else:
+        rdata = record.rdata
+    return (
+        f"{owner:<24} {record.ttl:>6} {record.rclass.name} "
+        f"{record.rtype.name:<5} {rdata}"
+    )
+
+
+def _relative_owner(name: DomainName, apex: DomainName) -> str:
+    if name == apex:
+        return "@"
+    if name.is_subdomain_of(apex) and apex.depth > 0:
+        relative_labels = name.labels[: name.depth - apex.depth]
+        return ".".join(relative_labels)
+    return f"{name}."

@@ -1,0 +1,48 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+All library errors derive from :class:`ReproError` so callers can catch
+one base class at API boundaries.  Subsystem-specific errors live here
+rather than in their packages to avoid import cycles between substrates
+that reference each other's failure modes (e.g. the resolver raising a
+zone error).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DomainNameError(ReproError, ValueError):
+    """A string is not a valid DNS domain name."""
+
+
+class WireFormatError(ReproError, ValueError):
+    """A DNS message could not be encoded to or decoded from wire format."""
+
+
+class ZoneError(ReproError):
+    """A zone file or zone operation is inconsistent."""
+
+
+class ResolutionError(ReproError):
+    """The iterative resolver could not complete a lookup."""
+
+
+class LifecycleError(ReproError):
+    """An illegal domain lifecycle transition was attempted."""
+
+
+class RegistryError(ReproError):
+    """A registry operation failed (duplicate registration, unknown domain...)."""
+
+
+class RateLimitExceeded(ReproError):
+    """A rate-limited API (e.g. the blocklist store) refused a query."""
+
+
+class HoneypotError(ReproError):
+    """The honeypot recorder or categorizer was misused."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured inconsistently."""

@@ -1,0 +1,66 @@
+"""NXD-Honeypot: traffic capture, filtering, and categorization (§6).
+
+The honeypot of the paper is a traffic recorder plus barebone web
+server deployed on the hosting instances of the 19 registered domains.
+This package reproduces its entire data path:
+
+- :mod:`repro.honeypot.http` — the request/packet model;
+- :mod:`repro.honeypot.recorder` — all-port traffic recording
+  (Figure 10's port histograms);
+- :mod:`repro.honeypot.filtering` — the two-stage noise filter
+  (no-hosting baseline for cloud IP scanners, control group for
+  domain-establishment traffic, Figure 9);
+- :mod:`repro.honeypot.categorize` — the Figure 11 categorizer
+  (Referer → User-Agent → Requested URL → Source IP) producing the
+  Web Crawler / Automated Process / Referral / User Visit / Others
+  split of Table 1;
+- supporting oracles: :mod:`repro.honeypot.useragent` (UA parsing),
+  :mod:`repro.honeypot.nvd` (sensitive-URI severity lookups),
+  :mod:`repro.honeypot.reverse_ip` (PTR-based service attribution),
+  and :mod:`repro.honeypot.webfilter` (referrer classification).
+"""
+
+from repro.honeypot.categorize import (
+    Category,
+    CategorizedRequest,
+    Subcategory,
+    TrafficCategorizer,
+)
+from repro.honeypot.filtering import FilterStats, TwoStageFilter
+from repro.honeypot.http import HttpRequest, PacketRecord, Transport
+from repro.honeypot.interactive import (
+    HoneypotResponse,
+    InteractiveHoneypot,
+    VisitorSession,
+)
+from repro.honeypot.nvd import VulnerabilityDatabase, Severity
+from repro.honeypot.recorder import TrafficRecorder
+from repro.honeypot.reverse_ip import ReverseIpTable
+from repro.honeypot.server import NxdHoneypot
+from repro.honeypot.useragent import AgentKind, UserAgentInfo, parse_user_agent
+from repro.honeypot.webfilter import ReferralKind, WebFilter
+
+__all__ = [
+    "AgentKind",
+    "CategorizedRequest",
+    "Category",
+    "FilterStats",
+    "HoneypotResponse",
+    "HttpRequest",
+    "InteractiveHoneypot",
+    "NxdHoneypot",
+    "VisitorSession",
+    "PacketRecord",
+    "ReferralKind",
+    "ReverseIpTable",
+    "Severity",
+    "Subcategory",
+    "TrafficCategorizer",
+    "TrafficRecorder",
+    "Transport",
+    "TwoStageFilter",
+    "UserAgentInfo",
+    "VulnerabilityDatabase",
+    "WebFilter",
+    "parse_user_agent",
+]

@@ -1,0 +1,121 @@
+"""Request and packet models captured by the honeypot.
+
+:class:`PacketRecord` is the transport-level view (every TCP/UDP packet
+on every well-known port — Figure 10's raw material);
+:class:`HttpRequest` is the application-level view the categorizer
+consumes, carrying exactly the header fields of Figure 11: Referer,
+User-Agent, the requested URL, and the source IP.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+HTTP_PORT = 80
+HTTPS_PORT = 443
+
+
+class Transport(enum.Enum):
+    TCP = "tcp"
+    UDP = "udp"
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """One transport-level packet observation."""
+
+    timestamp: int
+    src_ip: str
+    dst_port: int
+    transport: Transport = Transport.TCP
+    payload_size: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.dst_port <= 65535:
+            raise ValueError(f"invalid port {self.dst_port}")
+        if self.payload_size < 0:
+            raise ValueError("payload_size must be non-negative")
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One HTTP/HTTPS request received by a hosted domain.
+
+    ``host`` is the Host header (which domain the client *meant*);
+    ``path`` is the URI path; ``query`` the raw query string without
+    the leading ``?``.
+    """
+
+    timestamp: int
+    src_ip: str
+    host: str
+    path: str = "/"
+    query: str = ""
+    method: str = "GET"
+    port: int = HTTP_PORT
+    user_agent: str = ""
+    referer: str = ""
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.path.startswith("/"):
+            raise ValueError(f"path must start with '/': {self.path!r}")
+        if self.port not in (HTTP_PORT, HTTPS_PORT):
+            raise ValueError("HTTP requests arrive on port 80 or 443 only")
+
+    # -- derived views ---------------------------------------------------
+
+    @property
+    def is_tls(self) -> bool:
+        return self.port == HTTPS_PORT
+
+    @property
+    def uri(self) -> str:
+        """Path plus query string, as logged."""
+        return f"{self.path}?{self.query}" if self.query else self.path
+
+    @property
+    def has_query_string(self) -> bool:
+        return bool(self.query)
+
+    @property
+    def filename(self) -> str:
+        """The final path segment ('' for directory-style paths)."""
+        return self.path.rsplit("/", 1)[-1]
+
+    @property
+    def extension(self) -> str:
+        """Lowercased file extension without the dot, or ''."""
+        name = self.filename
+        if "." not in name:
+            return ""
+        return name.rsplit(".", 1)[-1].lower()
+
+    def query_parameters(self) -> Dict[str, str]:
+        """Parsed query-string parameters (last occurrence wins)."""
+        params: Dict[str, str] = {}
+        if not self.query:
+            return params
+        for pair in self.query.split("&"):
+            if not pair:
+                continue
+            key, _, value = pair.partition("=")
+            params[key] = value
+        return params
+
+    def to_packet(self) -> PacketRecord:
+        """The transport-level shadow of this request."""
+        return PacketRecord(
+            timestamp=self.timestamp,
+            src_ip=self.src_ip,
+            dst_port=self.port,
+            transport=Transport.TCP,
+            payload_size=len(self.uri) + len(self.user_agent) + 64,
+        )
+
+
+#: Extensions the categorizer treats as HTML page requests (search
+#: engine crawling) versus file grabbing.
+PAGE_EXTENSIONS: Tuple[str, ...] = ("", "html", "htm", "php", "asp", "aspx", "jsp")

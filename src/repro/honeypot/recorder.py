@@ -1,0 +1,84 @@
+"""All-port traffic recorder.
+
+The first of NXD-Honeypot's two roles: accept TCP and UDP packets on
+all well-known ports, remember everything (IPs, ports, payload sizes),
+and keep the HTTP/HTTPS requests for the categorizer.  Figure 10's
+port histograms are read straight off this recorder for the honeypot
+and control-group deployments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.honeypot.http import HttpRequest, PacketRecord
+
+
+class TrafficRecorder:
+    """Accumulates packets and HTTP requests for one deployment."""
+
+    def __init__(self, deployment: str = "honeypot") -> None:
+        self.deployment = deployment
+        self._packets: List[PacketRecord] = []
+        self._requests: List[HttpRequest] = []
+
+    # -- capture --------------------------------------------------------
+
+    def record_packet(self, packet: PacketRecord) -> None:
+        self._packets.append(packet)
+
+    def record_request(self, request: HttpRequest) -> None:
+        """Record an HTTP request (and its transport-level shadow)."""
+        self._requests.append(request)
+        self._packets.append(request.to_packet())
+
+    # -- views ------------------------------------------------------------
+
+    @property
+    def packet_count(self) -> int:
+        return len(self._packets)
+
+    @property
+    def request_count(self) -> int:
+        return len(self._requests)
+
+    def packets(self) -> List[PacketRecord]:
+        return list(self._packets)
+
+    def requests(self) -> List[HttpRequest]:
+        return list(self._requests)
+
+    def requests_for_host(self, host: str) -> List[HttpRequest]:
+        lowered = host.lower()
+        return [r for r in self._requests if r.host.lower() == lowered]
+
+    def port_histogram(self) -> Dict[int, int]:
+        """Packets per destination port (Figure 10's axes)."""
+        histogram: Dict[int, int] = {}
+        for packet in self._packets:
+            histogram[packet.dst_port] = histogram.get(packet.dst_port, 0) + 1
+        return histogram
+
+    def top_ports(self, n: int = 8) -> List[Tuple[int, int]]:
+        """The ``n`` busiest ports as (port, packets), busiest first."""
+        return sorted(
+            self.port_histogram().items(), key=lambda kv: kv[1], reverse=True
+        )[:n]
+
+    def source_ips(self) -> Set[str]:
+        """Every source IP observed (packets and requests)."""
+        return {p.src_ip for p in self._packets}
+
+    def http_share(self) -> float:
+        """Fraction of packets on ports 80/443 (the paper's 81.7%)."""
+        if not self._packets:
+            return 0.0
+        web = sum(1 for p in self._packets if p.dst_port in (80, 443))
+        return web / len(self._packets)
+
+    def window(self, start: int, end: int) -> "TrafficRecorder":
+        """A recorder view restricted to [start, end)."""
+        view = TrafficRecorder(self.deployment)
+        view._packets = [p for p in self._packets if start <= p.timestamp < end]
+        view._requests = [r for r in self._requests if start <= r.timestamp < end]
+        return view

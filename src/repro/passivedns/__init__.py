@@ -1,0 +1,31 @@
+"""Passive DNS collection pipeline (Farsight SIE stand-in).
+
+Reproduces the data path of §3.1: *sensors* at vantage points observe
+wire-format DNS responses, filter for NXDOMAIN (channel 221 in SIE
+terms) while excluding reverse lookups, and publish observations to a
+*channel*; the *database* subscribes and maintains the columnar store
+the scale analyses (§4) aggregate over; *sampling* implements the
+paper's 1/1,000 uniform domain sample (§4.2).
+"""
+
+from repro.passivedns.channel import SieChannel
+from repro.passivedns.database import DomainProfile, PassiveDnsDatabase
+from repro.passivedns.record import DnsObservation
+from repro.passivedns.io import load_database, save_database
+from repro.passivedns.sampling import sample_domains
+from repro.passivedns.sensor import Sensor, SensorTappedResolver
+from repro.passivedns.vantage import MultiVantageCollector, replay_clients
+
+__all__ = [
+    "DnsObservation",
+    "DomainProfile",
+    "MultiVantageCollector",
+    "PassiveDnsDatabase",
+    "Sensor",
+    "SensorTappedResolver",
+    "SieChannel",
+    "load_database",
+    "replay_clients",
+    "sample_domains",
+    "save_database",
+]

@@ -1,0 +1,58 @@
+"""The SIE-style distribution channel.
+
+Sensors publish observations; subscribers (the passive DNS database,
+ad-hoc analysis taps) receive every observation that passes the
+channel's filter.  Channel 221 — the one the paper consumes — carries
+only NXDOMAIN responses and drops reverse-lookup names, so that filter
+is the default here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.passivedns.record import DnsObservation
+
+Subscriber = Callable[[DnsObservation], None]
+
+
+class SieChannel:
+    """A filtered pub/sub channel for DNS observations."""
+
+    #: SIE channel number for NXDomains, for fidelity of labels/logs.
+    NXDOMAIN_CHANNEL = 221
+
+    def __init__(
+        self,
+        nxdomain_only: bool = True,
+        drop_reverse_lookups: bool = True,
+    ) -> None:
+        self.nxdomain_only = nxdomain_only
+        self.drop_reverse_lookups = drop_reverse_lookups
+        self._subscribers: List[Subscriber] = []
+        self.published = 0
+        self.dropped = 0
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        """Register a callback invoked for each accepted observation."""
+        self._subscribers.append(subscriber)
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        self._subscribers.remove(subscriber)
+
+    def publish(self, observation: DnsObservation) -> bool:
+        """Offer an observation; returns True when it passed the filter."""
+        if self.nxdomain_only and not observation.is_nxdomain:
+            self.dropped += 1
+            return False
+        if self.drop_reverse_lookups and observation.qname.is_reverse_lookup():
+            self.dropped += 1
+            return False
+        self.published += 1
+        for subscriber in self._subscribers:
+            subscriber(observation)
+        return True
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)

@@ -1,0 +1,96 @@
+"""Collection sensors.
+
+A :class:`Sensor` is a wire tap: it is handed raw DNS response bytes
+(exactly what a span port sees), decodes them with the library's RFC
+1035 codec, and publishes qualifying observations to its channel.
+:class:`SensorTappedResolver` is the convenience deployment used by
+the workload layer — a recursive resolver whose *upstream* traffic is
+mirrored to a sensor, matching Farsight's dominant vantage point
+(between recursive resolvers and authoritative servers, above caches).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dns.message import DnsMessage, RRType
+from repro.dns.name import DomainName
+from repro.dns.resolver import RecursiveResolver, ResolutionResult
+from repro.dns.wire import decode_message
+from repro.errors import WireFormatError
+from repro.passivedns.channel import SieChannel
+from repro.passivedns.record import DnsObservation
+
+
+class Sensor:
+    """Decodes wire responses and publishes observations."""
+
+    def __init__(self, sensor_id: str, channel: SieChannel) -> None:
+        self.sensor_id = sensor_id
+        self.channel = channel
+        self.observed = 0
+        self.decode_errors = 0
+
+    def observe_wire(self, response_bytes: bytes, now: int) -> Optional[DnsObservation]:
+        """Tap one wire-format response; malformed packets are counted
+        and dropped, never raised (a sensor must not crash on noise)."""
+        try:
+            message = decode_message(response_bytes)
+        except WireFormatError:
+            self.decode_errors += 1
+            return None
+        return self.observe_message(message, now)
+
+    def observe_message(
+        self, message: DnsMessage, now: int, count: int = 1
+    ) -> Optional[DnsObservation]:
+        """Tap an already-decoded response message."""
+        if not message.is_response or not message.questions:
+            return None
+        self.observed += 1
+        observation = DnsObservation(
+            qname=message.question.name,
+            rcode=message.rcode,
+            timestamp=now,
+            sensor_id=self.sensor_id,
+            rtype=message.question.rtype,
+            count=count,
+        )
+        return observation if self.channel.publish(observation) else None
+
+    def observe_result(
+        self, result: ResolutionResult, now: int, count: int = 1
+    ) -> Optional[DnsObservation]:
+        """Tap a resolver-level result (the aggregated fast path)."""
+        self.observed += 1
+        observation = DnsObservation(
+            qname=result.qname,
+            rcode=result.rcode,
+            timestamp=now,
+            sensor_id=self.sensor_id,
+            rtype=result.rtype,
+            count=count,
+        )
+        return observation if self.channel.publish(observation) else None
+
+
+class SensorTappedResolver:
+    """A recursive resolver whose cache-miss traffic feeds a sensor.
+
+    Only *upstream* resolutions are visible to the sensor — cache hits
+    (positive or negative) never leave the resolver, which is exactly
+    why negative caching suppresses repeat NXDomain observations and
+    why the negative-caching ablation changes measured volume.
+    """
+
+    def __init__(self, resolver: RecursiveResolver, sensor: Sensor) -> None:
+        self.resolver = resolver
+        self.sensor = sensor
+
+    def resolve(
+        self, qname: DomainName, now: int, rtype: RRType = RRType.A
+    ) -> ResolutionResult:
+        result = self.resolver.resolve(qname, now, rtype)
+        if not result.from_cache:
+            self.sensor.observe_result(result, now)
+        return result

@@ -1,0 +1,70 @@
+"""Dotsquatting: dot manipulation around the brand name.
+
+Two shapes (Wang et al., SRUTI '06):
+
+1. *missing dot* — the ``www`` prefix fused onto the brand:
+   ``wwwgoogle.com``;
+2. *inserted dot* — a dot splitting the brand so that the attacker
+   registers the *suffix* as its own domain and serves the prefix as a
+   subdomain: ``goo.gle.com`` requires registering ``gle.com``.
+
+Generation emits the registrable domains an attacker would buy (the
+fused label for shape 1; the split-suffix domain for shape 2).
+Detection checks a *query name* (which may have subdomain labels)
+against both shapes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dns.name import DomainName
+from repro.errors import DomainNameError
+
+
+def dotsquat_variants(target: DomainName) -> List[DomainName]:
+    """Registrable dotsquatting domains for ``target``."""
+    target = target.registered_domain()
+    brand = target.sld
+    variants = [DomainName(f"www{brand}.{target.tld}")]
+    # Split points leaving at least one character on each side; the
+    # attacker registers "<suffix>.<tld>" and hosts "<prefix>" under it.
+    for split in range(1, len(brand)):
+        suffix = brand[split:]
+        try:
+            variant = DomainName(f"{suffix}.{target.tld}")
+        except DomainNameError:
+            continue
+        if variant != target:
+            variants.append(variant)
+    # De-duplicate while preserving order.
+    seen = set()
+    unique = []
+    for variant in variants:
+        if variant not in seen:
+            seen.add(variant)
+            unique.append(variant)
+    return unique
+
+
+def is_dotsquat(candidate: DomainName, target: DomainName) -> bool:
+    """True when the query name is a dot manipulation of ``target``.
+
+    Checks the fused ``www<brand>`` form on the registered domain and
+    the inserted-dot form on the full query name: collapsing all dots
+    left of the TLD must reconstruct the brand.
+    """
+    target = target.registered_domain()
+    if candidate.registered_domain() == target:
+        return False
+    if candidate.tld != target.tld:
+        return False
+    # Shape 1: fused www.
+    if candidate.registered_domain().sld == f"www{target.sld}":
+        return True
+    # Shape 2: the non-TLD labels concatenate to the brand, using at
+    # least two labels (otherwise it would equal the target).
+    prefix_labels = candidate.labels[:-1]
+    if len(prefix_labels) >= 2 and "".join(prefix_labels) == target.sld:
+        return True
+    return False

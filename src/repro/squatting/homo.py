@@ -1,0 +1,89 @@
+"""Homosquatting: visually confusable substitutions.
+
+IDN homograph attacks substitute lookalike characters.  Within the
+LDH (ASCII) name space of this study the confusable pairs are the
+classic digit/letter and multi-character swaps: ``0↔o``, ``1↔l``,
+``rn→m``, ``vv→w``, ``cl→d``.  The space is minuscule — hence the
+paper's 126 homosquatting domains, the smallest category in Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.dns.name import DomainName
+from repro.errors import DomainNameError
+
+#: Single-character confusables, applied in both directions.
+CHAR_CONFUSABLES: Tuple[Tuple[str, str], ...] = (
+    ("0", "o"),
+    ("1", "l"),
+    ("1", "i"),
+    ("5", "s"),
+    ("g", "q"),
+)
+
+#: Multi-character confusables, applied in the written direction only
+#: (the attacker substitutes the lookalike *for* the original).
+SEQUENCE_CONFUSABLES: Tuple[Tuple[str, str], ...] = (
+    ("m", "rn"),
+    ("w", "vv"),
+    ("d", "cl"),
+)
+
+
+def _substitutions(label: str) -> Set[str]:
+    variants: Set[str] = set()
+    for a, b in CHAR_CONFUSABLES:
+        for original, replacement in ((a, b), (b, a)):
+            start = 0
+            while True:
+                index = label.find(original, start)
+                if index == -1:
+                    break
+                variants.add(label[:index] + replacement + label[index + 1 :])
+                start = index + 1
+    for original, replacement in SEQUENCE_CONFUSABLES:
+        start = 0
+        while True:
+            index = label.find(original, start)
+            if index == -1:
+                break
+            variants.add(
+                label[:index] + replacement + label[index + len(original) :]
+            )
+            start = index + 1
+        # And the reverse: collapsing the lookalike back to the original
+        # also yields a confusable pair ("rnail" vs "mail").
+        start = 0
+        while True:
+            index = label.find(replacement, start)
+            if index == -1:
+                break
+            variants.add(
+                label[:index] + original + label[index + len(replacement) :]
+            )
+            start = index + 1
+    variants.discard(label)
+    return variants
+
+
+def homosquat_variants(target: DomainName) -> List[DomainName]:
+    """All single-substitution confusable domains (same TLD)."""
+    target = target.registered_domain()
+    results = []
+    for label in sorted(_substitutions(target.sld)):
+        try:
+            results.append(DomainName(f"{label}.{target.tld}"))
+        except DomainNameError:
+            continue
+    return results
+
+
+def is_homosquat(candidate: DomainName, target: DomainName) -> bool:
+    """True when one confusable substitution maps candidate ↔ target."""
+    candidate = candidate.registered_domain()
+    target = target.registered_domain()
+    if candidate.tld != target.tld or candidate == target:
+        return False
+    return candidate.sld in _substitutions(target.sld)

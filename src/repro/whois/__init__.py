@@ -1,0 +1,40 @@
+"""WHOIS substrate: the domain lifecycle and a queryable history database.
+
+The paper joins 146 B NXDomains against WhoisXML's 15.6 B historic
+WHOIS records to split them into *expired* versus *never-registered*
+domains (§5.1).  This package provides the equivalent machinery:
+
+- :mod:`repro.whois.lifecycle` — the ICANN Expired Registration
+  Recovery Policy as an explicit state machine (active → auto-renew
+  grace → 30-day redemption grace period → pending delete → available),
+  including the required expiry notifications and drop-catch interplay.
+- :mod:`repro.whois.registry` — the registry operating that lifecycle
+  for a population of domains, optionally wired to a
+  :class:`repro.dns.DnsHierarchy` so registration state changes are
+  observable through actual resolution.
+- :mod:`repro.whois.history` — the WhoisXML stand-in: every lifecycle
+  transition appends a record, and the study joins NXDomains against it.
+"""
+
+from repro.whois.history import WhoisHistoryDatabase
+from repro.whois.lifecycle import (
+    DomainLifecycle,
+    DomainStatus,
+    LifecycleEvent,
+    LifecyclePolicy,
+)
+from repro.whois.record import WhoisRecord
+from repro.whois.registrar import DropCatchService, Registrar
+from repro.whois.registry import Registry
+
+__all__ = [
+    "DomainLifecycle",
+    "DomainStatus",
+    "DropCatchService",
+    "LifecycleEvent",
+    "LifecyclePolicy",
+    "Registrar",
+    "Registry",
+    "WhoisHistoryDatabase",
+    "WhoisRecord",
+]

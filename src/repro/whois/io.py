@@ -1,0 +1,77 @@
+"""Persistence for the WHOIS history database (JSON Lines).
+
+One JSON object per snapshot — the interchange format historic WHOIS
+providers actually use for bulk exports, and trivially greppable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+from repro.dns.name import DomainName
+from repro.whois.history import WhoisHistoryDatabase
+from repro.whois.record import WhoisRecord
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_history(history: WhoisHistoryDatabase, path: PathLike) -> int:
+    """Write every snapshot as one JSON line; returns records written."""
+    written = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for domain in sorted(
+            history._by_domain  # noqa: SLF001 - same package
+        ):
+            for record in history.history(domain):
+                handle.write(json.dumps(_to_json(record), sort_keys=True))
+                handle.write("\n")
+                written += 1
+    return written
+
+
+def load_history(path: PathLike) -> WhoisHistoryDatabase:
+    """Read a JSONL file written by :func:`save_history`."""
+    history = WhoisHistoryDatabase()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                history.append(_from_json(payload))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: bad WHOIS record: {exc}"
+                ) from exc
+    return history
+
+
+def _to_json(record: WhoisRecord) -> dict:
+    return {
+        "domain": str(record.domain),
+        "registrar": record.registrar,
+        "registrant": record.registrant_handle,
+        "status": record.status,
+        "created_at": record.created_at,
+        "expires_at": record.expires_at,
+        "captured_at": record.captured_at,
+        "updated_at": record.updated_at,
+        "nameservers": list(record.nameservers),
+    }
+
+
+def _from_json(payload: dict) -> WhoisRecord:
+    return WhoisRecord(
+        domain=DomainName(payload["domain"]),
+        registrar=payload["registrar"],
+        registrant_handle=payload["registrant"],
+        status=payload["status"],
+        created_at=int(payload["created_at"]),
+        expires_at=int(payload["expires_at"]),
+        captured_at=int(payload["captured_at"]),
+        updated_at=payload.get("updated_at"),
+        nameservers=tuple(payload.get("nameservers", ())),
+    )

@@ -1,0 +1,276 @@
+"""The ICANN domain lifecycle as a state machine.
+
+Implements the Expired Registration Recovery Policy the paper's §2
+describes: a registered domain whose owner does not renew moves through
+an auto-renew grace window (renewable at normal cost), the 30-day
+Redemption Grace Period (restorable for an extra fee), and a short
+pending-delete window, after which it is released to the public —
+either snapped up by a drop-catch reservation or left available, at
+which point DNS queries for it yield NXDOMAIN.
+
+The state machine is pure (no registry, no DNS): the
+:class:`repro.whois.registry.Registry` drives it and reflects its
+transitions into WHOIS history and the DNS hierarchy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.clock import SECONDS_PER_DAY
+from repro.dns.name import DomainName
+from repro.errors import LifecycleError
+
+
+class DomainStatus(enum.Enum):
+    """Lifecycle states; names follow registry terminology."""
+
+    AVAILABLE = "available"
+    REGISTERED = "registered"
+    AUTO_RENEW_GRACE = "auto-renew-grace"
+    REDEMPTION = "redemption-grace-period"
+    PENDING_DELETE = "pending-delete"
+
+    @property
+    def resolves_in_dns(self) -> bool:
+        """Whether a domain in this state still has a DNS delegation.
+
+        Registrars typically park expired domains during the grace
+        window (still resolving), then the delegation is pulled when
+        the domain enters redemption — from that point on, queries get
+        NXDOMAIN, which is when the domain enters the paper's dataset.
+        """
+        return self in (DomainStatus.REGISTERED, DomainStatus.AUTO_RENEW_GRACE)
+
+
+class EventKind(enum.Enum):
+    REGISTERED = "registered"
+    RENEWED = "renewed"
+    EXPIRY_NOTICE = "expiry-notice"
+    EXPIRED = "expired"
+    ENTERED_REDEMPTION = "entered-redemption"
+    RESTORED = "restored"
+    ENTERED_PENDING_DELETE = "entered-pending-delete"
+    RELEASED = "released"
+    REREGISTERED = "re-registered"
+
+
+@dataclass(frozen=True)
+class LifecycleEvent:
+    """One audited lifecycle transition."""
+
+    kind: EventKind
+    at: int
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class LifecyclePolicy:
+    """Timing knobs of the ERRP, in days.
+
+    Defaults follow ICANN policy: two renewal notices before expiry
+    (roughly one month and one week out), one after, a registrar
+    auto-renew grace of up to 45 days, a 30-day RGP, and 5 days of
+    pending-delete.
+    """
+
+    notice_days_before: tuple = (30, 7)
+    notice_days_after: tuple = (3,)
+    auto_renew_grace_days: int = 45
+    redemption_days: int = 30
+    pending_delete_days: int = 5
+
+    def grace_end(self, expires_at: int) -> int:
+        return expires_at + self.auto_renew_grace_days * SECONDS_PER_DAY
+
+    def redemption_end(self, expires_at: int) -> int:
+        return self.grace_end(expires_at) + self.redemption_days * SECONDS_PER_DAY
+
+    def delete_at(self, expires_at: int) -> int:
+        return (
+            self.redemption_end(expires_at)
+            + self.pending_delete_days * SECONDS_PER_DAY
+        )
+
+
+class DomainLifecycle:
+    """Tracks one domain through registration and expiry.
+
+    >>> lc = DomainLifecycle(DomainName("example.com"))
+    >>> lc.register(owner="h-1", at=0, years=1)
+    >>> lc.status
+    <DomainStatus.REGISTERED: 'registered'>
+    """
+
+    def __init__(
+        self,
+        domain: DomainName,
+        policy: Optional[LifecyclePolicy] = None,
+    ) -> None:
+        self.domain = domain
+        self.policy = policy if policy is not None else LifecyclePolicy()
+        self.status = DomainStatus.AVAILABLE
+        self.owner: Optional[str] = None
+        self.created_at: Optional[int] = None
+        self.expires_at: Optional[int] = None
+        self.events: List[LifecycleEvent] = []
+        self._notices_sent: List[int] = []
+
+    # -- registration-side transitions ---------------------------------
+
+    def register(self, owner: str, at: int, years: int = 1) -> None:
+        """Claim an AVAILABLE domain."""
+        if self.status != DomainStatus.AVAILABLE:
+            raise LifecycleError(
+                f"{self.domain} cannot be registered from {self.status.value}"
+            )
+        if years < 1:
+            raise LifecycleError("registrations run for at least one year")
+        first_time = self.created_at is None
+        self.status = DomainStatus.REGISTERED
+        self.owner = owner
+        self.created_at = at
+        self.expires_at = at + years * 365 * SECONDS_PER_DAY
+        self._notices_sent = []
+        kind = EventKind.REGISTERED if first_time else EventKind.REREGISTERED
+        self._record(kind, at, f"owner={owner} years={years}")
+
+    def renew(self, at: int, years: int = 1) -> None:
+        """Extend the registration; allowed while registered or in grace."""
+        if self.status not in (DomainStatus.REGISTERED, DomainStatus.AUTO_RENEW_GRACE):
+            raise LifecycleError(
+                f"{self.domain} cannot be renewed from {self.status.value}"
+            )
+        assert self.expires_at is not None
+        self.expires_at += years * 365 * SECONDS_PER_DAY
+        self.status = DomainStatus.REGISTERED
+        self._notices_sent = []
+        self._record(EventKind.RENEWED, at, f"years={years}")
+
+    def restore(self, at: int) -> None:
+        """Redeem from the RGP (the paper: "additional fees ... charged")."""
+        if self.status != DomainStatus.REDEMPTION:
+            raise LifecycleError(
+                f"{self.domain} can only be restored from redemption, "
+                f"not {self.status.value}"
+            )
+        assert self.expires_at is not None
+        self.expires_at += 365 * SECONDS_PER_DAY
+        self.status = DomainStatus.REGISTERED
+        self._notices_sent = []
+        self._record(EventKind.RESTORED, at)
+
+    # -- time-driven transitions ------------------------------------------
+
+    def tick(self, now: int) -> List[LifecycleEvent]:
+        """Advance expiry processing to ``now``; returns new events.
+
+        Idempotent per instant: calling twice with the same ``now``
+        adds nothing the second time.
+        """
+        fresh: List[LifecycleEvent] = []
+        if self.status == DomainStatus.AVAILABLE or self.expires_at is None:
+            return fresh
+        fresh.extend(self._send_due_notices(now))
+        if self.status == DomainStatus.REGISTERED and now >= self.expires_at:
+            self.status = DomainStatus.AUTO_RENEW_GRACE
+            fresh.append(self._record(EventKind.EXPIRED, self.expires_at))
+        if (
+            self.status == DomainStatus.AUTO_RENEW_GRACE
+            and now >= self.policy.grace_end(self.expires_at)
+        ):
+            self.status = DomainStatus.REDEMPTION
+            fresh.append(
+                self._record(
+                    EventKind.ENTERED_REDEMPTION,
+                    self.policy.grace_end(self.expires_at),
+                )
+            )
+        if (
+            self.status == DomainStatus.REDEMPTION
+            and now >= self.policy.redemption_end(self.expires_at)
+        ):
+            self.status = DomainStatus.PENDING_DELETE
+            fresh.append(
+                self._record(
+                    EventKind.ENTERED_PENDING_DELETE,
+                    self.policy.redemption_end(self.expires_at),
+                )
+            )
+        if (
+            self.status == DomainStatus.PENDING_DELETE
+            and now >= self.policy.delete_at(self.expires_at)
+        ):
+            released_at = self.policy.delete_at(self.expires_at)
+            self.status = DomainStatus.AVAILABLE
+            self.owner = None
+            fresh.append(self._record(EventKind.RELEASED, released_at))
+        # A large jump records notices and transitions in processing
+        # order, which can interleave their historical timestamps
+        # (the post-expiry notice is computed before the EXPIRED
+        # transition): keep the audit log time-ordered.
+        fresh.sort(key=lambda event: event.at)
+        self.events.sort(key=lambda event: event.at)
+        return fresh
+
+    def _send_due_notices(self, now: int) -> List[LifecycleEvent]:
+        """ERRP notifications: two before expiry, one after."""
+        if self.status not in (DomainStatus.REGISTERED, DomainStatus.AUTO_RENEW_GRACE):
+            return []
+        assert self.expires_at is not None
+        fresh = []
+        due_times = [
+            self.expires_at - days * SECONDS_PER_DAY
+            for days in self.policy.notice_days_before
+        ] + [
+            self.expires_at + days * SECONDS_PER_DAY
+            for days in self.policy.notice_days_after
+        ]
+        for due in due_times:
+            if now >= due and due not in self._notices_sent:
+                self._notices_sent.append(due)
+                fresh.append(
+                    self._record(
+                        EventKind.EXPIRY_NOTICE,
+                        due,
+                        f"notice {len(self._notices_sent)}/3",
+                    )
+                )
+        return fresh
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def notices_sent(self) -> int:
+        return len(self._notices_sent)
+
+    def became_nx_at(self) -> Optional[int]:
+        """When DNS queries for the domain started yielding NXDOMAIN.
+
+        That is the moment the delegation was pulled: entry into the
+        redemption grace period — or release, whichever transition
+        actually occurred last relative to the current status.
+        """
+        if self.status.resolves_in_dns or self.status == DomainStatus.AVAILABLE:
+            # AVAILABLE before first registration: never resolved.
+            for event in reversed(self.events):
+                if event.kind in (
+                    EventKind.ENTERED_REDEMPTION,
+                    EventKind.RELEASED,
+                ):
+                    return event.at
+            return None
+        for event in reversed(self.events):
+            if event.kind == EventKind.ENTERED_REDEMPTION:
+                return event.at
+        return None
+
+    def _record(self, kind: EventKind, at: int, detail: str = "") -> LifecycleEvent:
+        event = LifecycleEvent(kind, at, detail)
+        self.events.append(event)
+        return event
+
+    def __repr__(self) -> str:
+        return f"DomainLifecycle({str(self.domain)!r}, {self.status.value})"

@@ -1,0 +1,41 @@
+"""Calibrated synthetic workloads.
+
+The generators in this package are the substitution for the paper's
+two proprietary data sources:
+
+- :mod:`repro.workloads.trace` replaces the Farsight feed — an 8-year
+  NXDomain query trace over a generated domain population whose
+  volume curve, TLD mix, lifespan decay, expiry dynamics, and
+  malicious sub-populations follow the shapes of §4/§5;
+- :mod:`repro.workloads.domains` + the actor modules replace the six
+  months of real honeypot traffic — per-domain request generators for
+  the 19 registered domains, calibrated to Table 1's per-category
+  counts, emitting requests that the Figure 11 categorizer classifies
+  back into those categories from headers alone;
+- :mod:`repro.workloads.scanners` and :mod:`repro.workloads.control`
+  generate the two calibration datasets (no-hosting baseline and
+  control group) that train the Figure 9 noise filter.
+"""
+
+from repro.workloads.botnet import GpclickBotnet
+from repro.workloads.control import generate_control_traffic, generate_no_hosting_baseline
+from repro.workloads.domains import (
+    PAPER_TABLE1,
+    RegisteredDomainProfile,
+    registered_domain_profiles,
+)
+from repro.workloads.honeytraffic import HoneypotTrafficGenerator
+from repro.workloads.trace import NxdomainTraceGenerator, TraceConfig, TraceResult
+
+__all__ = [
+    "GpclickBotnet",
+    "HoneypotTrafficGenerator",
+    "NxdomainTraceGenerator",
+    "PAPER_TABLE1",
+    "RegisteredDomainProfile",
+    "TraceConfig",
+    "TraceResult",
+    "generate_control_traffic",
+    "generate_no_hosting_baseline",
+    "registered_domain_profiles",
+]

@@ -1,0 +1,440 @@
+"""Per-domain honeypot traffic generation calibrated to Table 1.
+
+For each of the 19 registered domains, the generator emits — per
+Table 1 subcategory, scaled by ``scale`` — requests whose *headers*
+carry the signals that the Figure 11 categorizer keys on.  The
+end-to-end claim of the reproduction is exactly this loop: generate
+raw traffic from actor models, push it through recording, filtering,
+and categorization, and recover Table 1's shape.
+
+Also emitted (``include_noise=True``) is the contamination the filter
+exists to remove: cloud-scanner probes from the same address space as
+the no-hosting baseline and certificate-validation traffic matching the
+control group's signatures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.honeypot.categorize import Subcategory
+from repro.honeypot.http import HttpRequest
+from repro.honeypot.reverse_ip import ReverseIpTable
+from repro.honeypot.webfilter import WebFilter, WebPage
+from repro.workloads import useragents as ua
+from repro.workloads.botnet import GpclickBotnet
+from repro.workloads.domains import (
+    RegisteredDomainProfile,
+    registered_domain_profiles,
+)
+from repro.workloads.ipspace import make_pool
+
+#: Six months of collection, in seconds (timestamps are study-relative).
+COLLECTION_SECONDS = 180 * 86_400
+
+_PAGE_PATHS = (
+    "/", "/index.html", "/news.html", "/catalog.php", "/video.php",
+    "/article-2021.html", "/course/math.html", "/serial/ep1.html",
+)
+_ASSET_PATHS = (
+    "/img/banner.jpeg", "/img/logo.png", "/sitemap.xml", "/feed.xml",
+    "/img/photo1.jpeg", "/img/photo2.png", "/video/preview.jpeg",
+    "/static/style.css.map", "/files/catalog.pdf",
+)
+_EMAIL_ASSET_PATHS = (
+    "/newsletter/pixel.png", "/mail/banner.jpeg", "/promo/image1.png",
+    "/campaign/header.jpeg",
+)
+_SCRIPT_PATHS = (
+    "/status.json", "/api/feed.json", "/video/lesson1.mp4.torrent",
+    "/files/course-algebra.mp4", "/data/export.xml", "/update/manifest.json",
+)
+_PROBE_PATHS = (
+    "/wp-login.php", "/xmlrpc.php", "/changepassword.php", "/admin.php",
+    "/phpmyadmin/index.php", "/.env", "/cgi-bin/test.sh", "/config.php",
+)
+_SEARCH_REFERERS_GLOBAL = (
+    "https://www.google.com/search?q={d}",
+    "https://www.bing.com/search?q={d}",
+)
+_SEARCH_REFERERS_RU = (
+    "https://go.mail.ru/search?q={d}",
+    "https://yandex.ru/search/?text={d}",
+    "https://www.google.com/search?q={d}",
+)
+
+
+class HoneypotTrafficGenerator:
+    """Generates the full 6-month request stream for the 19 domains."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        scale: float = 0.01,
+        reverse_ip: Optional[ReverseIpTable] = None,
+        web_filter: Optional[WebFilter] = None,
+        profiles: Optional[List[RegisteredDomainProfile]] = None,
+    ) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.rng = rng
+        self.scale = scale
+        self.reverse_ip = reverse_ip if reverse_ip is not None else ReverseIpTable()
+        self.web_filter = web_filter if web_filter is not None else WebFilter()
+        self.profiles = (
+            profiles if profiles is not None else registered_domain_profiles()
+        )
+        self._pools = {
+            name: make_pool(name, rng, self.reverse_ip)
+            for name in (
+                "google-crawler", "bing-crawler", "yandex-crawler",
+                "mailru-crawler", "baidu-crawler", "gmail-proxy",
+                "yahoo-proxy", "outlook-proxy", "scripts", "users",
+                "others", "scanners", "letsencrypt", "residential",
+            )
+        }
+        self._botnet = GpclickBotnet(rng, self.reverse_ip)
+        self._emitters = {
+            Subcategory.SEARCH_ENGINE: self._emit_search_engine,
+            Subcategory.FILE_GRABBER: self._emit_file_grabber,
+            Subcategory.SCRIPT_SOFTWARE: self._emit_script_software,
+            Subcategory.MALICIOUS_REQUEST: self._emit_malicious_request,
+            Subcategory.REFERRAL_SEARCH: self._emit_referral_search,
+            Subcategory.REFERRAL_EMBEDDED: self._emit_referral_embedded,
+            Subcategory.REFERRAL_MALICIOUS: self._emit_referral_malicious,
+            Subcategory.PC_MOBILE: self._emit_pc_mobile,
+            Subcategory.INAPP: self._emit_inapp,
+            Subcategory.OTHER: self._emit_other,
+        }
+
+    # -- top-level -----------------------------------------------------------
+
+    def generate(self, include_noise: bool = True) -> List[HttpRequest]:
+        """All requests of the collection period, time-ordered."""
+        requests: List[HttpRequest] = []
+        for profile in self.profiles:
+            requests.extend(self.generate_for(profile))
+        if include_noise:
+            requests.extend(self._emit_contamination())
+        requests.sort(key=lambda r: r.timestamp)
+        return requests
+
+    def generate_for(self, profile: RegisteredDomainProfile) -> List[HttpRequest]:
+        """The 6-month stream for one domain, per its Table 1 row."""
+        requests: List[HttpRequest] = []
+        for subcategory, count in profile.scaled_counts(self.scale).items():
+            if count <= 0:
+                continue
+            requests.extend(self._emitters[subcategory](profile, count))
+        return requests
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _times(self, count: int) -> List[int]:
+        return [int(t) for t in self.rng.integers(0, COLLECTION_SECONDS, size=count)]
+
+    def _port(self) -> int:
+        return 443 if self.rng.random() < 0.55 else 80
+
+    def _pick_path(self, paths) -> str:
+        return paths[int(self.rng.integers(0, len(paths)))]
+
+    def _crawler_identity(self, profile: RegisteredDomainProfile):
+        """(user_agent, source_ip) for a search-engine crawler visit."""
+        pool = (
+            ua.SEARCH_CRAWLERS_RU if profile.region == "ru" else ua.SEARCH_CRAWLERS_GLOBAL
+        )
+        agent = ua.pick(self.rng, pool)
+        lowered = agent.lower()
+        if "mail.ru_bot" in lowered:
+            ip_pool = "mailru-crawler"
+        elif "yandex" in lowered:
+            ip_pool = "yandex-crawler"
+        elif "bingbot" in lowered:
+            ip_pool = "bing-crawler"
+        elif "baiduspider" in lowered:
+            ip_pool = "baidu-crawler"
+        else:
+            ip_pool = "google-crawler"
+        return agent, self._pools[ip_pool].address()
+
+    # -- subcategory emitters ----------------------------------------------------
+
+    def _emit_search_engine(self, profile, count) -> List[HttpRequest]:
+        requests = []
+        for timestamp in self._times(count):
+            agent, src_ip = self._crawler_identity(profile)
+            requests.append(
+                HttpRequest(
+                    timestamp=timestamp,
+                    src_ip=src_ip,
+                    host=profile.domain,
+                    path=self._pick_path(_PAGE_PATHS),
+                    user_agent=agent,
+                    port=self._port(),
+                )
+            )
+        return requests
+
+    def _emit_file_grabber(self, profile, count) -> List[HttpRequest]:
+        requests = []
+        for timestamp in self._times(count):
+            if profile.email_crawler_heavy and self.rng.random() < 0.951:
+                agent = ua.pick(self.rng, ua.EMAIL_CRAWLERS)
+                lowered = agent.lower()
+                if "yahoo" in lowered:
+                    src_ip = self._pools["yahoo-proxy"].address()
+                elif "outlook" in lowered:
+                    src_ip = self._pools["outlook-proxy"].address()
+                else:
+                    src_ip = self._pools["gmail-proxy"].address()
+                path = self._pick_path(_EMAIL_ASSET_PATHS)
+            else:
+                agent = ua.pick(self.rng, ua.FILE_GRABBERS)
+                src_ip = self._pools["google-crawler"].address()
+                path = self._pick_path(_ASSET_PATHS)
+            requests.append(
+                HttpRequest(
+                    timestamp=timestamp,
+                    src_ip=src_ip,
+                    host=profile.domain,
+                    path=path,
+                    user_agent=agent,
+                    port=self._port(),
+                )
+            )
+        return requests
+
+    def _emit_script_software(self, profile, count) -> List[HttpRequest]:
+        requests = []
+        if profile.polling_fleet:
+            # The status.json fleet: many addresses, one UA, one URI.
+            # Each address polls on its own fixed period (with small
+            # jitter) — the periodic-stream signature that both the
+            # stream reclassifier and the interactive honeypot's
+            # session analysis key on.
+            fleet_size = max(count // 120, 1)
+            fleet = self._pools["scripts"].addresses(fleet_size)
+            per_bot = max(count // fleet_size, 1)
+            emitted = 0
+            for bot_ip in fleet:
+                if emitted >= count:
+                    break
+                period = COLLECTION_SECONDS / per_bot
+                start = float(self.rng.integers(0, max(int(period), 1)))
+                for poll in range(per_bot):
+                    if emitted >= count:
+                        break
+                    jitter = float(self.rng.normal(0, period * 0.02))
+                    timestamp = int(
+                        min(max(start + poll * period + jitter, 0), COLLECTION_SECONDS - 1)
+                    )
+                    requests.append(
+                        HttpRequest(
+                            timestamp=timestamp,
+                            src_ip=bot_ip,
+                            host=profile.domain,
+                            path="/status.json",
+                            user_agent=ua.POLLING_FLEET_UA,
+                            port=80,
+                        )
+                    )
+                    emitted += 1
+            # Round down to the requested count exactly.
+            return requests[:count]
+        for timestamp in self._times(count):
+            requests.append(
+                HttpRequest(
+                    timestamp=timestamp,
+                    src_ip=self._pools["scripts"].address(),
+                    host=profile.domain,
+                    path=self._pick_path(_SCRIPT_PATHS),
+                    user_agent=ua.pick(self.rng, ua.SCRIPT_TOOLS),
+                    port=self._port(),
+                )
+            )
+        return requests
+
+    def _emit_malicious_request(self, profile, count) -> List[HttpRequest]:
+        if profile.botnet_target:
+            return self._botnet.requests(count, 0, COLLECTION_SECONDS)
+        requests = []
+        for timestamp in self._times(count):
+            # Vulnerability probes; half disclose a script tool, half
+            # send no UA at all — both routes end in Malicious Request.
+            agent = (
+                ua.pick(self.rng, ua.SCRIPT_TOOLS)
+                if self.rng.random() < 0.5
+                else ""
+            )
+            requests.append(
+                HttpRequest(
+                    timestamp=timestamp,
+                    src_ip=self._pools["scripts"].address(),
+                    host=profile.domain,
+                    path=self._pick_path(_PROBE_PATHS),
+                    user_agent=agent,
+                    port=self._port(),
+                )
+            )
+        return requests
+
+    def _emit_referral_search(self, profile, count) -> List[HttpRequest]:
+        templates = (
+            _SEARCH_REFERERS_RU if profile.region == "ru" else _SEARCH_REFERERS_GLOBAL
+        )
+        requests = []
+        for timestamp in self._times(count):
+            template = templates[int(self.rng.integers(0, len(templates)))]
+            requests.append(
+                HttpRequest(
+                    timestamp=timestamp,
+                    src_ip=self._pools["users"].address(),
+                    host=profile.domain,
+                    path=self._pick_path(_PAGE_PATHS),
+                    user_agent=ua.pick(self.rng, ua.PC_MOBILE_BROWSERS),
+                    referer=template.format(d=profile.domain),
+                    port=self._port(),
+                )
+            )
+        return requests
+
+    def _emit_referral_embedded(self, profile, count) -> List[HttpRequest]:
+        # Forum/blog pages that genuinely link to the domain; register
+        # them with the web filter so its fetch-and-check passes.
+        page_count = max(min(count // 10, 12), 1)
+        pages = []
+        for index in range(page_count):
+            url = f"https://forum-{index}.discuss-{profile.domain.split('.')[0]}.org/thread"
+            self.web_filter.register_page(
+                WebPage(url, category="forums-blogs", linked_domains={profile.domain})
+            )
+            pages.append(url)
+        requests = []
+        for timestamp in self._times(count):
+            requests.append(
+                HttpRequest(
+                    timestamp=timestamp,
+                    src_ip=self._pools["users"].address(),
+                    host=profile.domain,
+                    path=self._pick_path(_PAGE_PATHS),
+                    user_agent=ua.pick(self.rng, ua.PC_MOBILE_BROWSERS),
+                    referer=pages[int(self.rng.integers(0, page_count))],
+                    port=self._port(),
+                )
+            )
+        return requests
+
+    def _emit_referral_malicious(self, profile, count) -> List[HttpRequest]:
+        # Forged Referers: ~18% point at real pages that do NOT link to
+        # us (the paper's 1,524 valid-URL subset); the rest at dead URLs.
+        decoy_url = f"https://pages.decoy-{profile.domain.split('.')[0]}.net/article"
+        self.web_filter.register_page(
+            WebPage(decoy_url, category="forums-blogs", linked_domains=set())
+        )
+        requests = []
+        for timestamp in self._times(count):
+            if self.rng.random() < 0.18:
+                referer = decoy_url
+            else:
+                referer = (
+                    f"https://dead-link-{int(self.rng.integers(0, 1_000_000))}"
+                    ".example-gone.net/x"
+                )
+            requests.append(
+                HttpRequest(
+                    timestamp=timestamp,
+                    src_ip=self._pools["scripts"].address(),
+                    host=profile.domain,
+                    path=self._pick_path(_PAGE_PATHS),
+                    user_agent=ua.pick(self.rng, ua.PC_MOBILE_BROWSERS),
+                    referer=referer,
+                    port=self._port(),
+                )
+            )
+        return requests
+
+    def _emit_pc_mobile(self, profile, count) -> List[HttpRequest]:
+        requests = []
+        for index, timestamp in enumerate(self._times(count)):
+            requests.append(
+                HttpRequest(
+                    timestamp=timestamp,
+                    src_ip=self._pools["users"].address(),
+                    host=profile.domain,
+                    # Distinct URIs keep organic visits off the stream
+                    # reclassifier's radar.
+                    path=f"/page/{index % 37}",
+                    user_agent=ua.pick(self.rng, ua.PC_MOBILE_BROWSERS),
+                    port=self._port(),
+                )
+            )
+        return requests
+
+    def _emit_inapp(self, profile, count) -> List[HttpRequest]:
+        requests = []
+        for index, timestamp in enumerate(self._times(count)):
+            requests.append(
+                HttpRequest(
+                    timestamp=timestamp,
+                    src_ip=self._pools["users"].address(),
+                    host=profile.domain,
+                    path=f"/shared/{index % 23}",
+                    user_agent=ua.pick(self.rng, ua.INAPP_BROWSERS),
+                    port=self._port(),
+                )
+            )
+        return requests
+
+    def _emit_other(self, profile, count) -> List[HttpRequest]:
+        requests = []
+        for timestamp in self._times(count):
+            requests.append(
+                HttpRequest(
+                    timestamp=timestamp,
+                    src_ip=self._pools["others"].address(),
+                    host=profile.domain,
+                    path="/",
+                    user_agent="",
+                    port=self._port(),
+                )
+            )
+        return requests
+
+    # -- contamination (what the Figure 9 filter removes) ---------------------------
+
+    def _emit_contamination(self) -> List[HttpRequest]:
+        """Scanner and establishment noise hitting the real deployment."""
+        requests = []
+        hosts = [p.domain for p in self.profiles]
+        noise_count = max(int(sum(p.total() for p in self.profiles) * self.scale * 0.05), 10)
+        for timestamp in self._times(noise_count):
+            host = hosts[int(self.rng.integers(0, len(hosts)))]
+            roll = self.rng.random()
+            if roll < 0.6:
+                # Cloud scanners (same pool as the no-hosting baseline).
+                requests.append(
+                    HttpRequest(
+                        timestamp=timestamp,
+                        src_ip=self._pools["scanners"].address(),
+                        host=host,
+                        path=self._pick_path(("/", "/robots.txt", "/admin")),
+                        user_agent="",
+                        port=80,
+                    )
+                )
+            else:
+                # Certificate validation (control-group signature).
+                requests.append(
+                    HttpRequest(
+                        timestamp=timestamp,
+                        src_ip=self._pools["letsencrypt"].address(),
+                        host=host,
+                        path="/.well-known/acme-challenge/token",
+                        user_agent=ua.LETSENCRYPT_UA,
+                        port=80,
+                    )
+                )
+        return requests

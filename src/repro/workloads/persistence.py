@@ -1,0 +1,178 @@
+"""Persistence for whole trace results.
+
+A :class:`~repro.workloads.trace.TraceResult` saved to a directory can
+be reloaded in another session without regeneration — the dataset-
+artifact workflow: generate once with a documented seed, analyze many
+times.
+
+Layout::
+
+    <dir>/
+      manifest.json        config, counts, format version
+      nx.npz               the NXDomain columnar store
+      pre_expiry.npz       the pre-expiry (NOERROR) store
+      whois.jsonl          WHOIS history snapshots
+      blocklist.jsonl      blocklist entries
+      population.jsonl     per-domain ground truth
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Union
+
+from repro.blocklist.categories import ThreatCategory
+from repro.blocklist.store import BlocklistEntry, BlocklistStore, RateLimit
+from repro.dns.name import DomainName
+from repro.passivedns.io import load_database, save_database
+from repro.squatting.detector import SquattingType
+from repro.whois.io import load_history, save_history
+from repro.workloads.trace import (
+    DomainKind,
+    TraceConfig,
+    TraceDomain,
+    TraceResult,
+)
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_trace(trace: TraceResult, directory: PathLike) -> Path:
+    """Write the full trace result under ``directory`` (created)."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    save_database(trace.nx_db, root / "nx.npz")
+    save_database(trace.pre_expiry_db, root / "pre_expiry.npz")
+    save_history(trace.whois, root / "whois.jsonl")
+    _save_blocklist(trace.blocklist, root / "blocklist.jsonl")
+    _save_population(trace, root / "population.jsonl")
+    manifest = {
+        "version": FORMAT_VERSION,
+        "config": dataclasses.asdict(trace.config),
+        "domains": len(trace.population),
+        "nx_responses": trace.nx_db.total_responses(),
+    }
+    (root / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return root
+
+
+def load_trace(directory: PathLike) -> TraceResult:
+    """Read a trace saved by :func:`save_trace`."""
+    root = Path(directory)
+    manifest = json.loads((root / "manifest.json").read_text())
+    if manifest.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace archive version {manifest.get('version')}"
+        )
+    config = TraceConfig(**manifest["config"])
+    trace = TraceResult(
+        config=config,
+        nx_db=load_database(root / "nx.npz"),
+        pre_expiry_db=load_database(root / "pre_expiry.npz"),
+        population=_load_population(root / "population.jsonl"),
+        whois=load_history(root / "whois.jsonl"),
+        blocklist=_load_blocklist(root / "blocklist.jsonl"),
+    )
+    if len(trace.population) != manifest["domains"]:
+        raise ValueError("corrupt trace archive: population count mismatch")
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# blocklist / population JSONL
+# ---------------------------------------------------------------------------
+
+
+def _save_blocklist(store: BlocklistStore, path: Path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for domain in sorted(store._entries):  # noqa: SLF001 - serializer
+            entry = store._entries[domain]
+            handle.write(
+                json.dumps(
+                    {
+                        "domain": str(entry.domain),
+                        "category": entry.category.value,
+                        "listed_at": entry.listed_at,
+                        "source": entry.source,
+                    },
+                    sort_keys=True,
+                )
+            )
+            handle.write("\n")
+
+
+def _load_blocklist(path: Path) -> BlocklistStore:
+    store = BlocklistStore(RateLimit(capacity=1_000_000, window_seconds=3600))
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            store.add_all(
+                [
+                    BlocklistEntry(
+                        DomainName(payload["domain"]),
+                        ThreatCategory(payload["category"]),
+                        int(payload["listed_at"]),
+                        payload.get("source", "archive"),
+                    )
+                ]
+            )
+    return store
+
+
+def _save_population(trace: TraceResult, path: Path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in trace.population:
+            handle.write(
+                json.dumps(
+                    {
+                        "domain": str(record.domain),
+                        "kind": record.kind.value,
+                        "became_nx_at": record.became_nx_at,
+                        "registered_at": record.registered_at,
+                        "expired_at": record.expired_at,
+                        "dga_family": record.dga_family,
+                        "squat_type": (
+                            record.squat_type.value if record.squat_type else None
+                        ),
+                        "blocklisted": record.blocklisted,
+                        "base_rate": record.base_rate,
+                        "activity_days": record.activity_days,
+                    },
+                    sort_keys=True,
+                )
+            )
+            handle.write("\n")
+
+
+def _load_population(path: Path) -> list:
+    population = []
+    squat_by_value = {t.value: t for t in SquattingType}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            population.append(
+                TraceDomain(
+                    domain=DomainName(payload["domain"]),
+                    kind=DomainKind(payload["kind"]),
+                    became_nx_at=int(payload["became_nx_at"]),
+                    registered_at=payload.get("registered_at"),
+                    expired_at=payload.get("expired_at"),
+                    dga_family=payload.get("dga_family", ""),
+                    squat_type=squat_by_value.get(payload.get("squat_type")),
+                    blocklisted=bool(payload.get("blocklisted")),
+                    base_rate=float(payload.get("base_rate", 1.0)),
+                    activity_days=int(payload.get("activity_days", 1)),
+                )
+            )
+    return population

@@ -1,0 +1,52 @@
+"""Tests for the §6.3 crawler-origin analyses."""
+
+import pytest
+
+from repro.core.security import (
+    email_crawler_breakdown,
+    regional_correlation_checks,
+    run_security_experiment,
+    search_engine_breakdown,
+)
+from repro.rand import make_rng
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_security_experiment(make_rng(31), scale=0.003)
+
+
+class TestEmailCrawlerBreakdown:
+    def test_confcdn_dominated_by_email(self, result):
+        breakdown = email_crawler_breakdown(result)
+        checks = breakdown.shape_checks()
+        assert all(checks.values()), checks
+        assert breakdown.email_share > 0.85
+
+    def test_gmail_largest(self, result):
+        breakdown = email_crawler_breakdown(result)
+        gmail = breakdown.by_provider.get("GmailImageProxy", 0)
+        assert gmail == max(breakdown.by_provider.values())
+
+    def test_other_domain_not_email_heavy(self, result):
+        breakdown = email_crawler_breakdown(result, domain="resheba.online")
+        assert breakdown.email_share < 0.5
+
+    def test_unknown_domain_degenerate(self, result):
+        breakdown = email_crawler_breakdown(result, domain="nope.example")
+        assert breakdown.file_grabber_total == 0
+        assert breakdown.email_share == 0.0
+
+
+class TestRegionalCorrelation:
+    def test_checks_pass(self, result):
+        checks = regional_correlation_checks(result)
+        assert all(checks.values()), checks
+
+    def test_ru_domain_crawled_by_mailru(self, result):
+        histogram = search_engine_breakdown(result, "porno-komiksy.com")
+        regional = histogram.get("Mail.Ru", 0) + histogram.get("Yandex", 0)
+        assert regional > sum(histogram.values()) / 2
+
+    def test_empty_for_unknown_domain(self, result):
+        assert search_engine_breakdown(result, "nope.example") == {}

@@ -1,0 +1,129 @@
+"""Tests for the §5 origin analyses (WHOIS join, DGA, Figures 7-8)."""
+
+import pytest
+
+from repro.blocklist.store import BlocklistStore, RateLimit
+from repro.core.origin import (
+    blocklist_census,
+    dga_census,
+    squatting_census,
+    whois_join,
+)
+from repro.dga.detector import DgaDetector
+from repro.rand import make_rng
+from repro.workloads.trace import NxdomainTraceGenerator, TraceConfig
+
+
+@pytest.fixture(scope="module")
+def trace():
+    config = TraceConfig(total_domains=3_000, squat_count=120)
+    return NxdomainTraceGenerator(seed=21, config=config).generate()
+
+
+@pytest.fixture(scope="module")
+def detector():
+    return DgaDetector.train_default(seed=5, samples_per_family=120)
+
+
+class TestWhoisJoin:
+    def test_shape(self, trace):
+        result = whois_join([d.domain for d in trace.population], trace.whois)
+        assert all(result.shape_checks().values())
+
+    def test_split_matches_population(self, trace):
+        result = whois_join([d.domain for d in trace.population], trace.whois)
+        expired = len(trace.expired_domains())
+        assert result.with_history == expired
+        assert result.never_registered == len(trace.population) - expired
+        assert result.total_domains == len(trace.population)
+
+    def test_empty(self, trace):
+        result = whois_join([], trace.whois)
+        assert result.expired_fraction == 0.0
+
+
+class TestDgaCensus:
+    def test_shape(self, trace, detector):
+        census = dga_census(trace, detector)
+        checks = census.shape_checks()
+        assert all(checks.values()), checks
+
+    def test_flagged_fraction_small(self, trace, detector):
+        census = dga_census(trace, detector)
+        # Planted: 3% of expired; allow detector noise either way.
+        assert 0.005 < census.flagged_fraction < 0.25
+
+    def test_ground_truth_counts_add_up(self, trace, detector):
+        census = dga_census(trace, detector)
+        m = census.ground_truth
+        total = (
+            m.true_positives + m.false_positives + m.true_negatives + m.false_negatives
+        )
+        assert total == census.expired_total
+
+
+class TestSquattingCensus:
+    def test_shape(self, trace):
+        census = squatting_census(trace)
+        checks = census.shape_checks()
+        assert all(checks.values()), checks
+
+    def test_counts_close_to_planted(self, trace):
+        from repro.workloads.trace import DomainKind
+
+        census = squatting_census(trace)
+        planted = len(trace.domains_of_kind(DomainKind.EXPIRED_SQUAT))
+        assert abs(census.total_squatting - planted) <= planted * 0.15
+
+
+class TestSquattingAccuracy:
+    def test_ground_truth_scoring(self, trace):
+        from repro.core.origin import squatting_accuracy
+
+        accuracy = squatting_accuracy(trace)
+        checks = accuracy.shape_checks()
+        assert all(checks.values()), checks
+        assert accuracy.planted_total == len(
+            [r for r in trace.expired_domains() if r.squat_type is not None]
+        )
+
+    def test_degenerate_empty(self):
+        from repro.core.origin import SquattingAccuracy
+        from repro.squatting.detector import SquattingType
+
+        accuracy = SquattingAccuracy(
+            planted={t: 0 for t in SquattingType},
+            detected_of_planted={t: 0 for t in SquattingType},
+            type_correct=0,
+            false_positives=0,
+        )
+        assert accuracy.detection_rate == 0.0
+        assert accuracy.type_accuracy == 0.0
+
+
+class TestBlocklistCensus:
+    def test_shape(self, trace):
+        census = blocklist_census(trace, sample_ratio=0.9, rng=make_rng(4))
+        checks = census.shape_checks()
+        assert all(checks.values()), checks
+        assert not census.rate_limited
+
+    def test_rate_limit_respected(self, trace):
+        # Starve the API: the census must stop, not crash.
+        original = trace.blocklist.rate_limit
+        trace.blocklist.rate_limit = RateLimit(capacity=10, window_seconds=10**9)
+        trace.blocklist._window_start = None
+        trace.blocklist._window_used = 0
+        try:
+            census = blocklist_census(trace, sample_ratio=0.9, rng=make_rng(4))
+            assert census.rate_limited
+            assert census.sampled == 10
+        finally:
+            trace.blocklist.rate_limit = original
+            trace.blocklist._window_start = None
+
+    def test_sampling_without_rng(self, trace):
+        census = blocklist_census(trace, sample_ratio=0.5)
+        assert census.sampled == pytest.approx(
+            len(trace.expired_domains()) * 0.5, abs=2
+        )

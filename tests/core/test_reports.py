@@ -1,0 +1,140 @@
+"""Direct tests for the report renderers and traffic concentration."""
+
+import numpy as np
+import pytest
+
+from repro.blocklist.categories import ThreatCategory
+from repro.core.origin import (
+    BlocklistCensus,
+    DgaCensus,
+    DgaRegistrationRate,
+    SquattingCensus,
+    WhoisJoinResult,
+)
+from repro.core.reports import (
+    render_dga_census,
+    render_dga_registration,
+    render_figure7,
+    render_figure8,
+    render_long_lived,
+    render_whois_join,
+)
+from repro.core.scale import LongLivedCohort
+from repro.core.security import TrafficConcentration
+from repro.squatting.detector import SquattingType
+
+
+class TestOriginRenderers:
+    def test_whois_join(self):
+        text = render_whois_join(WhoisJoinResult(100, 20, 80))
+        assert "20.00%" in text
+        assert "never registered" in text
+        assert "shape:" in text
+
+    def test_dga_census_with_ground_truth(self):
+        from repro.dga.detector import DetectorMetrics
+
+        census = DgaCensus(
+            expired_total=100,
+            flagged=4,
+            ground_truth=DetectorMetrics(3, 1, 95, 1),
+        )
+        text = render_dga_census(census)
+        assert "4.0%" in text
+        assert "precision=0.75" in text
+
+    def test_dga_census_without_ground_truth(self):
+        text = render_dga_census(DgaCensus(expired_total=10, flagged=1))
+        assert "ground truth" not in text
+
+    def test_dga_registration(self):
+        text = render_dga_registration(DgaRegistrationRate(5, 495))
+        assert "1.00%" in text
+        assert "Plohmann" in text
+
+    def test_figure7(self):
+        census = SquattingCensus(
+            counts={
+                SquattingType.TYPO: 50,
+                SquattingType.COMBO: 40,
+                SquattingType.DOT: 6,
+                SquattingType.BIT: 1,
+                SquattingType.HOMO: 1,
+            },
+            expired_total=500,
+        )
+        text = render_figure7(census)
+        assert "typosquatting" in text
+        assert "45,175" in text  # paper column present
+
+    def test_figure8(self):
+        census = BlocklistCensus(
+            sampled=1000,
+            listed=100,
+            by_category={
+                ThreatCategory.MALWARE: 80,
+                ThreatCategory.GRAYWARE: 9,
+                ThreatCategory.PHISHING: 8,
+                ThreatCategory.COMMAND_AND_CONTROL: 3,
+            },
+        )
+        text = render_figure8(census)
+        assert "Malware" in text
+        assert "80.0%" in text
+        assert "rate limited" not in text
+
+    def test_figure8_rate_limited_note(self):
+        census = BlocklistCensus(
+            sampled=10,
+            listed=1,
+            by_category={c: 0 for c in ThreatCategory},
+            rate_limited=True,
+        )
+        assert "rate limited" in render_figure8(census)
+
+    def test_long_lived(self):
+        cohort = LongLivedCohort(
+            min_years=2.0,
+            domain_count=10,
+            total_queries=5000,
+            population_domains=1000,
+        )
+        text = render_long_lived(cohort)
+        assert "1.0%" in text
+        assert "5,000" in text
+
+
+class TestTrafficConcentration:
+    def test_paper_like_distribution(self):
+        # Table 1's actual row totals, scaled down.
+        totals = [2097, 1243, 1024, 957, 206, 92, 78, 67, 66, 19,
+                  17, 17, 11, 9, 8, 6, 6, 2, 1]
+        concentration = TrafficConcentration(totals)
+        assert concentration.top_share(1) == pytest.approx(0.354, abs=0.01)
+        assert concentration.top_share(3) == pytest.approx(0.737, abs=0.01)
+        checks = concentration.shape_checks()
+        assert all(checks.values()), checks
+
+    def test_uniform_distribution_fails_checks(self):
+        concentration = TrafficConcentration([10] * 19)
+        assert concentration.gini() == pytest.approx(0.0, abs=1e-9)
+        assert not concentration.shape_checks()["high-gini"]
+
+    def test_empty(self):
+        concentration = TrafficConcentration([])
+        assert concentration.top_share(1) == 0.0
+        assert concentration.gini() == 0.0
+
+    def test_single_domain_has_everything(self):
+        concentration = TrafficConcentration([100, 0, 0, 0])
+        assert concentration.top_share(1) == 1.0
+        assert concentration.gini() == pytest.approx(0.75)
+
+    def test_from_security_run(self):
+        from repro.core.security import run_security_experiment, traffic_concentration
+        from repro.rand import make_rng
+
+        result = run_security_experiment(make_rng(3), scale=0.001)
+        concentration = traffic_concentration(result)
+        checks = concentration.shape_checks()
+        assert all(checks.values()), checks

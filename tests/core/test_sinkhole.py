@@ -1,0 +1,100 @@
+"""Tests for the DNS-level sinkhole (§7 future work)."""
+
+import pytest
+
+from repro.blocklist.categories import ThreatCategory
+from repro.blocklist.store import BlocklistStore
+from repro.core.sinkhole import NxdomainSinkhole, SinkholeVerdict
+from repro.dga.detector import DgaDetector
+from repro.dga.families.dircrypt import Dircrypt
+from repro.dns.message import RCode
+from repro.dns.name import DomainName
+from repro.passivedns.record import DnsObservation
+
+
+@pytest.fixture(scope="module")
+def detector():
+    return DgaDetector.train_default(seed=1, samples_per_family=100, threshold=0.8)
+
+
+@pytest.fixture
+def sinkhole(detector):
+    blocklist = BlocklistStore()
+    blocklist.add(DomainName("known-bad.com"), ThreatCategory.MALWARE)
+    return NxdomainSinkhole(detector, blocklist=blocklist)
+
+
+class TestClassification:
+    def test_blocklisted_takes_precedence(self, sinkhole):
+        record = sinkhole.observe(DomainName("known-bad.com"), timestamp=0)
+        assert record.verdict == SinkholeVerdict.BLOCKLISTED
+        assert record.detail == "malware"
+
+    def test_squatting(self, sinkhole):
+        record = sinkhole.observe(DomainName("paypal-login.com"), timestamp=0)
+        assert record.verdict == SinkholeVerdict.SQUATTING
+        assert "paypal.com" in record.detail
+
+    def test_dga(self, sinkhole):
+        sample = Dircrypt(seed=9).domains_for_day(3)[0].domain
+        record = sinkhole.observe(sample, timestamp=0)
+        assert record.verdict == SinkholeVerdict.DGA
+
+    def test_benign_unclassified(self, sinkhole):
+        record = sinkhole.observe(DomainName("schoolbook.com"), timestamp=0)
+        assert record.verdict == SinkholeVerdict.UNCLASSIFIED
+        assert not record.is_suspicious
+
+    def test_classification_cached_volume_accumulates(self, sinkhole):
+        domain = DomainName("known-bad.com")
+        sinkhole.observe(domain, timestamp=0, count=5)
+        record = sinkhole.observe(domain, timestamp=100, count=3)
+        assert record.queries == 8
+        assert record.first_seen == 0
+        assert record.last_seen == 100
+        assert len(sinkhole) == 1
+
+    def test_subdomains_collapse(self, sinkhole):
+        sinkhole.observe(DomainName("www.known-bad.com"), timestamp=0)
+        assert sinkhole.lookup(DomainName("known-bad.com")).queries == 1
+
+    def test_channel_ingest(self, sinkhole):
+        observation = DnsObservation(
+            DomainName("www.known-bad.com"), RCode.NXDOMAIN, 50, count=4
+        )
+        record = sinkhole.ingest(observation)
+        assert record.queries == 4
+        assert sinkhole.observations == 1
+
+
+class TestReport:
+    def test_report_aggregates(self, sinkhole):
+        sinkhole.observe(DomainName("known-bad.com"), 0, count=10)
+        sinkhole.observe(DomainName("paypal-login.com"), 0, count=5)
+        sinkhole.observe(DomainName("schoolbook.com"), 0, count=100)
+        report = sinkhole.report()
+        assert report.total_domains() == 3
+        assert report.domains_by_verdict[SinkholeVerdict.BLOCKLISTED] == 1
+        assert report.queries_by_verdict[SinkholeVerdict.UNCLASSIFIED] == 100
+        assert report.suspicious_fraction() == pytest.approx(2 / 3)
+
+    def test_top_suspicious_sorted_and_excludes_benign(self, sinkhole):
+        sinkhole.observe(DomainName("known-bad.com"), 0, count=1)
+        sinkhole.observe(DomainName("paypal-login.com"), 0, count=50)
+        sinkhole.observe(DomainName("schoolbook.com"), 0, count=500)
+        top = sinkhole.report(top_n=5).top_suspicious
+        assert [str(r.domain) for r in top] == ["paypal-login.com", "known-bad.com"]
+
+    def test_empty_report(self, detector):
+        report = NxdomainSinkhole(detector).report()
+        assert report.total_domains() == 0
+        assert report.suspicious_fraction() == 0.0
+
+    def test_without_blocklist(self, detector):
+        sinkhole = NxdomainSinkhole(detector)
+        record = sinkhole.observe(DomainName("known-bad.com"), 0)
+        # No blocklist attached: falls through to lexical analysis.
+        assert record.verdict in (
+            SinkholeVerdict.UNCLASSIFIED,
+            SinkholeVerdict.DGA,
+        )

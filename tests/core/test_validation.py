@@ -1,0 +1,75 @@
+"""Tests for the cross-seed shape validator."""
+
+import pytest
+
+from repro.core.study import StudyConfig
+from repro.core.validation import CheckOutcome, ValidationReport, validate_shapes
+
+SMALL = StudyConfig(
+    trace_domains=900,
+    squat_count=36,
+    expiry_timeline_sample=80,
+    dga_samples_per_family=60,
+)
+
+
+class TestCheckOutcome:
+    def test_rates(self):
+        outcome = CheckOutcome(passes=3, failures=1, failing_seeds=[7])
+        assert outcome.runs == 4
+        assert outcome.pass_rate == 0.75
+
+    def test_empty(self):
+        assert CheckOutcome().pass_rate == 0.0
+
+
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return validate_shapes([0, 1], SMALL, include_origin=True)
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            validate_shapes([], SMALL)
+
+    def test_every_section_covered(self, report):
+        sections = {name.split(".")[0] for name in report.outcomes}
+        assert {
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+            "s44-long-lived",
+            "whois-join",
+            "dga",
+            "dga-registration",
+            "figure7",
+            "figure8",
+        } <= sections
+
+    def test_runs_match_seed_count(self, report):
+        for outcome in report.outcomes.values():
+            assert outcome.runs == 2
+
+    def test_worst_sorted_ascending(self, report):
+        rates = [rate for _, rate, _ in report.worst()]
+        assert rates == sorted(rates)
+
+    def test_overall_rate_bounds(self, report):
+        assert 0.0 <= report.overall_pass_rate() <= 1.0
+
+    def test_scale_only_mode(self):
+        report = validate_shapes([0], SMALL, include_origin=False)
+        assert not any(name.startswith("figure7") for name in report.outcomes)
+        assert any(name.startswith("figure3") for name in report.outcomes)
+
+    def test_robust_threshold(self):
+        report = ValidationReport(
+            seeds=[0],
+            outcomes={
+                "a.x": CheckOutcome(passes=9, failures=1, failing_seeds=[3]),
+                "a.y": CheckOutcome(passes=10, failures=0),
+            },
+        )
+        assert report.robust(threshold=0.9)
+        assert not report.robust(threshold=0.95)

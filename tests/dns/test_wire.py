@@ -1,0 +1,173 @@
+"""Wire codec tests, including hypothesis round-trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dns.message import (
+    DnsMessage,
+    RCode,
+    ResourceRecord,
+    RRType,
+    make_soa_record,
+)
+from repro.dns.name import DomainName
+from repro.dns.wire import decode_message, encode_message
+from repro.errors import WireFormatError
+
+LABEL_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+label_st = st.text(alphabet=LABEL_ALPHABET, min_size=1, max_size=12)
+name_st = st.lists(label_st, min_size=1, max_size=4).map(
+    lambda parts: DomainName(".".join(parts))
+)
+
+
+def a_record_st():
+    octet = st.integers(0, 255)
+    return st.builds(
+        lambda name, ttl, a, b, c, d: ResourceRecord(
+            name, RRType.A, ttl, f"{a}.{b}.{c}.{d}"
+        ),
+        name_st,
+        st.integers(0, 86400),
+        octet,
+        octet,
+        octet,
+        octet,
+    )
+
+
+def txt_record_st():
+    return st.builds(
+        lambda name, ttl, text: ResourceRecord(name, RRType.TXT, ttl, text),
+        name_st,
+        st.integers(0, 86400),
+        st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=600
+        ),
+    )
+
+
+class TestRoundTrip:
+    def test_simple_query(self):
+        query = DnsMessage.make_query(DomainName("www.example.com"), msg_id=7)
+        assert decode_message(encode_message(query)) == query
+
+    def test_nxdomain_response_with_soa(self):
+        query = DnsMessage.make_query(DomainName("gone.example.com"), msg_id=9)
+        soa = make_soa_record(DomainName("example.com"), minimum=900)
+        response = query.make_response(
+            rcode=RCode.NXDOMAIN, authorities=[soa], authoritative=True
+        )
+        decoded = decode_message(encode_message(response))
+        assert decoded.is_nxdomain()
+        assert decoded.soa_minimum_ttl() == 900
+        assert decoded.authoritative
+
+    def test_answer_sections_roundtrip(self):
+        query = DnsMessage.make_query(DomainName("www.example.com"), msg_id=3)
+        response = query.make_response(
+            answers=[
+                ResourceRecord(
+                    DomainName("www.example.com"), RRType.CNAME, 60, "example.com"
+                ),
+                ResourceRecord(DomainName("example.com"), RRType.A, 300, "1.2.3.4"),
+            ],
+            additionals=[
+                ResourceRecord(
+                    DomainName("example.com"), RRType.MX, 600, "10 mail.example.com"
+                ),
+                ResourceRecord(
+                    DomainName("example.com"), RRType.AAAA, 600, "2606:2800:220:1::1"
+                ),
+            ],
+        )
+        decoded = decode_message(encode_message(response))
+        assert decoded.answers == response.answers
+        # AAAA addresses normalize; compare semantic fields.
+        assert decoded.additionals[0] == response.additionals[0]
+        assert decoded.additionals[1].rdata == "2606:2800:220:1::1"
+
+    def test_compression_shrinks_repeated_names(self):
+        query = DnsMessage.make_query(DomainName("www.example.com"))
+        rrs = [
+            ResourceRecord(DomainName("www.example.com"), RRType.A, 300, "1.2.3.4"),
+            ResourceRecord(DomainName("www.example.com"), RRType.A, 300, "1.2.3.5"),
+            ResourceRecord(DomainName("www.example.com"), RRType.A, 300, "1.2.3.6"),
+        ]
+        wire = encode_message(query.make_response(answers=rrs))
+        # The name is 17 bytes uncompressed; pointers are 2 bytes.
+        assert len(wire) < 12 + 21 + 3 * (17 + 10) - 2 * 15
+        assert decode_message(wire).answers == rrs
+
+    def test_ptr_record(self):
+        rr = ResourceRecord(
+            DomainName("34.216.184.93.in-addr.arpa"),
+            RRType.PTR,
+            300,
+            "server.example.com",
+        )
+        query = DnsMessage.make_query(rr.name, RRType.PTR)
+        decoded = decode_message(encode_message(query.make_response(answers=[rr])))
+        assert decoded.answers[0].rdata == "server.example.com"
+
+    @given(st.lists(a_record_st(), min_size=0, max_size=6))
+    def test_a_records_roundtrip(self, records):
+        query = DnsMessage.make_query(DomainName("q.test"), msg_id=1)
+        message = query.make_response(answers=records)
+        assert decode_message(encode_message(message)).answers == records
+
+    @given(txt_record_st())
+    def test_txt_roundtrip(self, record):
+        query = DnsMessage.make_query(record.name, RRType.TXT)
+        decoded = decode_message(encode_message(query.make_response(answers=[record])))
+        assert decoded.answers[0].rdata == record.rdata
+
+    @given(
+        name_st,
+        st.integers(0, 0xFFFF),
+        st.booleans(),
+        st.booleans(),
+        st.sampled_from(list(RCode)),
+    )
+    def test_header_fields_roundtrip(self, name, msg_id, rd, aa, rcode):
+        query = DnsMessage.make_query(name, msg_id=msg_id, recursion_desired=rd)
+        response = query.make_response(rcode=rcode, authoritative=aa)
+        decoded = decode_message(encode_message(response))
+        assert decoded.msg_id == msg_id
+        assert decoded.recursion_desired == rd
+        assert decoded.authoritative == aa
+        assert decoded.rcode == rcode
+
+
+class TestMalformedInput:
+    def test_truncated_header(self):
+        with pytest.raises(WireFormatError):
+            decode_message(b"\x00\x01\x00")
+
+    def test_trailing_garbage(self):
+        wire = encode_message(DnsMessage.make_query(DomainName("a.test")))
+        with pytest.raises(WireFormatError):
+            decode_message(wire + b"\x00")
+
+    def test_pointer_loop(self):
+        # Header claiming one question whose name is a self-pointer.
+        header = b"\x00\x00\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00"
+        loop = b"\xc0\x0c\x00\x01\x00\x01"
+        with pytest.raises(WireFormatError):
+            decode_message(header + loop)
+
+    def test_bad_rdata_rejected_at_encode(self):
+        rr = ResourceRecord(DomainName("a.test"), RRType.A, 300, "not-an-ip")
+        message = DnsMessage.make_query(DomainName("a.test")).make_response(
+            answers=[rr]
+        )
+        with pytest.raises(WireFormatError):
+            encode_message(message)
+
+    def test_label_past_end(self):
+        header = b"\x00\x00\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00"
+        bad_name = b"\x3fabc"  # label claims 63 bytes, only 3 present
+        with pytest.raises(WireFormatError):
+            decode_message(header + bad_name)

@@ -1,0 +1,52 @@
+"""Fuzzing the wire decoder: garbage in, WireFormatError (or valid) out.
+
+A sensor decodes whatever arrives on the wire; the decoder must never
+raise anything other than :class:`WireFormatError` and never loop, no
+matter the input.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns.message import DnsMessage, RCode, ResourceRecord, RRType
+from repro.dns.name import DomainName
+from repro.dns.wire import decode_message, encode_message
+from repro.errors import WireFormatError
+
+
+class TestDecoderFuzz:
+    @given(st.binary(max_size=256))
+    @settings(max_examples=400)
+    def test_random_bytes_never_crash(self, blob):
+        try:
+            decode_message(blob)
+        except WireFormatError:
+            pass
+
+    @given(st.binary(min_size=12, max_size=64), st.integers(0, 63))
+    @settings(max_examples=200)
+    def test_bitflipped_valid_messages_never_crash(self, payload, flip_at):
+        message = DnsMessage.make_query(DomainName("fuzz.example.com"), msg_id=1)
+        wire = bytearray(encode_message(message))
+        index = flip_at % len(wire)
+        wire[index] ^= 0xFF
+        try:
+            decode_message(bytes(wire))
+        except WireFormatError:
+            pass
+
+    @given(st.integers(0, 0xFFFF), st.sampled_from(list(RCode)))
+    def test_double_roundtrip_is_stable(self, msg_id, rcode):
+        query = DnsMessage.make_query(DomainName("a.b.example.com"), msg_id=msg_id)
+        response = query.make_response(
+            rcode=rcode,
+            answers=[
+                ResourceRecord(DomainName("a.b.example.com"), RRType.A, 300, "1.2.3.4")
+            ]
+            if rcode == RCode.NOERROR
+            else [],
+        )
+        once = encode_message(response)
+        twice = encode_message(decode_message(once))
+        assert once == twice

@@ -1,0 +1,146 @@
+"""Tests for the master-file parser and serializer."""
+
+import pytest
+
+from repro.dns.message import RRType
+from repro.dns.name import DomainName
+from repro.dns.zonefile import parse_zone_file, serialize_zone
+from repro.errors import ZoneError
+
+SAMPLE = """\
+$ORIGIN example.com.
+$TTL 3600
+@       IN SOA   ns1.example.com. hostmaster.example.com. (
+                  7 7200 3600 1209600 900 )
+@       IN NS    ns1.example.com.
+@       IN MX    10 mail
+www     300 IN A 93.184.216.34
+mail    IN A     93.184.216.35
+alias   IN CNAME www
+notes   IN TXT   "hello zone world"
+"""
+
+
+class TestParsing:
+    @pytest.fixture
+    def zone(self):
+        return parse_zone_file(SAMPLE)
+
+    def test_apex_and_soa(self, zone):
+        assert zone.apex == DomainName("example.com")
+        assert zone.soa.soa.serial == 7
+        assert zone.soa.soa.minimum == 900
+
+    def test_records(self, zone):
+        assert zone.lookup(DomainName("www.example.com"), RRType.A)[0].rdata == (
+            "93.184.216.34"
+        )
+        assert zone.lookup(DomainName("www.example.com"), RRType.A)[0].ttl == 300
+        assert zone.lookup(DomainName("mail.example.com"), RRType.A)[0].ttl == 3600
+
+    def test_relative_names_resolved(self, zone):
+        mx = zone.lookup(DomainName("example.com"), RRType.MX)[0]
+        assert mx.rdata == "10 mail.example.com"
+        cname = zone.lookup(DomainName("alias.example.com"), RRType.CNAME)[0]
+        assert cname.rdata == "www.example.com"
+
+    def test_txt_quotes_stripped(self, zone):
+        txt = zone.lookup(DomainName("notes.example.com"), RRType.TXT)[0]
+        assert txt.rdata == "hello zone world"
+
+    def test_origin_argument_used_when_file_lacks_origin(self):
+        zone = parse_zone_file(
+            "@ IN SOA ns1 host 1 2 3 4 5\nwww IN A 1.2.3.4\n",
+            origin=DomainName("fallback.net"),
+        )
+        assert zone.apex == DomainName("fallback.net")
+        assert zone.name_exists(DomainName("www.fallback.net"))
+
+    def test_owner_inheritance(self):
+        text = (
+            "$ORIGIN ex.org.\n"
+            "@ IN SOA ns1 host 1 2 3 4 5\n"
+            "multi IN A 1.1.1.1\n"
+            "      IN A 2.2.2.2\n"
+        )
+        zone = parse_zone_file(text)
+        records = zone.lookup(DomainName("multi.ex.org"), RRType.A)
+        assert {r.rdata for r in records} == {"1.1.1.1", "2.2.2.2"}
+
+    def test_comments_ignored(self):
+        text = (
+            "$ORIGIN c.org. ; the origin\n"
+            "@ IN SOA ns1 host 1 2 3 4 5 ; soa\n"
+            "; full comment line\n"
+            "www IN A 9.9.9.9\n"
+        )
+        zone = parse_zone_file(text)
+        assert zone.lookup(DomainName("www.c.org"), RRType.A)
+
+
+class TestErrors:
+    def test_no_origin(self):
+        with pytest.raises(ZoneError, match="ORIGIN"):
+            parse_zone_file("www IN A 1.2.3.4\n")
+
+    def test_no_soa(self):
+        with pytest.raises(ZoneError, match="SOA"):
+            parse_zone_file("$ORIGIN x.org.\nwww IN A 1.2.3.4\n")
+
+    def test_duplicate_soa(self):
+        text = (
+            "$ORIGIN x.org.\n"
+            "@ IN SOA ns1 host 1 2 3 4 5\n"
+            "@ IN SOA ns1 host 1 2 3 4 5\n"
+        )
+        with pytest.raises(ZoneError, match="duplicate SOA"):
+            parse_zone_file(text)
+
+    def test_bad_directive(self):
+        with pytest.raises(ZoneError, match="unsupported directive"):
+            parse_zone_file("$GENERATE 1-10 host$ A 1.2.3.4\n")
+
+    def test_unknown_type(self):
+        text = "$ORIGIN x.org.\n@ IN SOA ns1 host 1 2 3 4 5\nwww IN HINFO x\n"
+        with pytest.raises(ZoneError, match="unsupported record type"):
+            parse_zone_file(text)
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ZoneError, match="unclosed"):
+            parse_zone_file("$ORIGIN x.org.\n@ IN SOA ns1 host ( 1 2 3 4 5\n")
+
+    def test_bad_soa_field_count(self):
+        with pytest.raises(ZoneError, match="SOA needs 7"):
+            parse_zone_file("$ORIGIN x.org.\n@ IN SOA ns1 host 1 2 3\n")
+
+    def test_error_carries_line_number(self):
+        text = "$ORIGIN x.org.\n@ IN SOA ns1 host 1 2 3 4 5\nbad line here\n"
+        with pytest.raises(ZoneError, match="line 3"):
+            parse_zone_file(text)
+
+    def test_inherit_without_previous_owner(self):
+        with pytest.raises(ZoneError, match="no previous owner"):
+            parse_zone_file("$ORIGIN x.org.\n   IN A 1.2.3.4\n")
+
+
+class TestRoundTrip:
+    def test_serialize_then_parse_preserves_records(self):
+        original = parse_zone_file(SAMPLE)
+        text = serialize_zone(original)
+        reparsed = parse_zone_file(text)
+        assert reparsed.apex == original.apex
+        assert reparsed.record_count() == original.record_count()
+        for record in original.records():
+            if record.rtype == RRType.SOA:
+                continue
+            matches = reparsed.lookup(record.name, record.rtype)
+            assert any(m.rdata == record.rdata for m in matches), record
+
+    def test_serialized_form_uses_at_for_apex(self):
+        text = serialize_zone(parse_zone_file(SAMPLE))
+        assert "\n@ " in text or text.startswith("@ ") or "@" in text.splitlines()[3]
+
+    def test_zone_records_iterator_sorted(self):
+        zone = parse_zone_file(SAMPLE)
+        owners = [record.name for record in zone.records()]
+        assert owners == sorted(owners)

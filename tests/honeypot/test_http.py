@@ -1,0 +1,73 @@
+"""Tests for the HTTP request / packet models."""
+
+import pytest
+
+from repro.honeypot.http import HttpRequest, PacketRecord, Transport
+
+
+def request(**overrides):
+    defaults = dict(timestamp=0, src_ip="198.51.100.7", host="example.com")
+    defaults.update(overrides)
+    return HttpRequest(**defaults)
+
+
+class TestPacketRecord:
+    def test_valid(self):
+        packet = PacketRecord(0, "1.2.3.4", 443, Transport.UDP, 100)
+        assert packet.transport == Transport.UDP
+
+    def test_port_bounds(self):
+        with pytest.raises(ValueError):
+            PacketRecord(0, "1.2.3.4", 70000)
+        with pytest.raises(ValueError):
+            PacketRecord(0, "1.2.3.4", -1)
+
+    def test_payload_bounds(self):
+        with pytest.raises(ValueError):
+            PacketRecord(0, "1.2.3.4", 80, payload_size=-5)
+
+
+class TestHttpRequest:
+    def test_defaults(self):
+        r = request()
+        assert r.path == "/"
+        assert not r.is_tls
+        assert r.uri == "/"
+        assert not r.has_query_string
+
+    def test_path_validation(self):
+        with pytest.raises(ValueError):
+            request(path="no-slash")
+
+    def test_port_validation(self):
+        with pytest.raises(ValueError):
+            request(port=8080)
+
+    def test_tls(self):
+        assert request(port=443).is_tls
+
+    def test_uri_with_query(self):
+        r = request(path="/getTask.php", query="imei=1&balance=0")
+        assert r.uri == "/getTask.php?imei=1&balance=0"
+        assert r.has_query_string
+
+    def test_filename_and_extension(self):
+        assert request(path="/a/b/status.json").filename == "status.json"
+        assert request(path="/a/b/status.json").extension == "json"
+        assert request(path="/dir/").filename == ""
+        assert request(path="/README").extension == ""
+        assert request(path="/pic.JPEG").extension == "jpeg"
+
+    def test_query_parameters(self):
+        r = request(query="imei=A-1&country=us&os=23&empty")
+        params = r.query_parameters()
+        assert params["imei"] == "A-1"
+        assert params["country"] == "us"
+        assert params["empty"] == ""
+        assert request().query_parameters() == {}
+
+    def test_to_packet(self):
+        packet = request(port=443).to_packet()
+        assert packet.dst_port == 443
+        assert packet.src_ip == "198.51.100.7"
+        assert packet.payload_size > 0

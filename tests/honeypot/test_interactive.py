@@ -1,0 +1,110 @@
+"""Tests for the interactive honeypot (§7 future work)."""
+
+import pytest
+
+from repro.honeypot.http import HttpRequest
+from repro.honeypot.interactive import (
+    EMPTY_JSON,
+    EMPTY_TASK_RESPONSE,
+    InteractiveHoneypot,
+    NOT_FOUND_BODY,
+)
+from repro.honeypot.server import LANDING_PAGE
+
+
+def req(path="/", src_ip="198.51.100.9", ts=0, **overrides):
+    defaults = dict(timestamp=ts, src_ip=src_ip, host="resheba.online", path=path)
+    defaults.update(overrides)
+    return HttpRequest(**defaults)
+
+
+@pytest.fixture
+def honeypot():
+    return InteractiveHoneypot(["resheba.online", "gpclick.com"])
+
+
+class TestInteractionPolicy:
+    def test_pages_get_landing_page(self, honeypot):
+        response = honeypot.interact(req("/index.html"))
+        assert response.status == 200
+        assert response.body == LANDING_PAGE
+
+    def test_json_pollers_get_empty_document(self, honeypot):
+        response = honeypot.interact(req("/status.json"))
+        assert response.status == 200
+        assert response.content_type == "application/json"
+        assert response.body == EMPTY_JSON
+
+    def test_xml_gets_empty_feed(self, honeypot):
+        response = honeypot.interact(req("/feed.xml"))
+        assert "<feed/>" in response.body
+
+    def test_bots_get_empty_task_list(self, honeypot):
+        response = honeypot.interact(
+            req("/getTask.php", host="gpclick.com", query="imei=1")
+        )
+        assert response.body == EMPTY_TASK_RESPONSE
+
+    def test_probes_get_404_never_fake_vulnerability(self, honeypot):
+        for probe in ("/wp-login.php", "/.env", "/phpmyadmin/index.php"):
+            response = honeypot.interact(req(probe))
+            assert response.status == 404
+            assert response.body == NOT_FOUND_BODY
+
+    def test_images_get_placeholder(self, honeypot):
+        response = honeypot.interact(req("/img/banner.jpeg"))
+        assert response.content_type == "image/png"
+
+    def test_status_accounting(self, honeypot):
+        honeypot.interact(req("/index.html"))
+        honeypot.interact(req("/wp-login.php"))
+        assert honeypot.responses_by_status == {200: 1, 404: 1}
+
+    def test_requests_still_recorded_for_categorization(self, honeypot):
+        honeypot.interact(req("/index.html"))
+        assert honeypot.recorder.request_count == 1
+
+
+class TestSessions:
+    def test_single_shot_visitor(self, honeypot):
+        honeypot.interact(req("/a.html"))
+        session = honeypot.session_of("198.51.100.9")
+        assert session.requests == 1
+        assert not session.is_returning
+        assert session.mean_interarrival() is None
+
+    def test_returning_visitor_interarrivals(self, honeypot):
+        for ts in (0, 100, 200):
+            honeypot.interact(req("/a.html", ts=ts))
+        session = honeypot.session_of("198.51.100.9")
+        assert session.is_returning
+        assert session.interarrivals == [100, 100]
+        assert session.mean_interarrival() == 100
+
+    def test_periodic_poller_detected(self, honeypot):
+        for i in range(6):
+            honeypot.interact(req("/status.json", ts=i * 300))
+        assert honeypot.session_of("198.51.100.9").is_periodic
+
+    def test_irregular_visitor_not_periodic(self, honeypot):
+        for ts in (0, 10, 500, 520, 9_000, 9_010):
+            honeypot.interact(req("/x.html", ts=ts))
+        assert not honeypot.session_of("198.51.100.9").is_periodic
+
+    def test_summary_and_top_visitors(self, honeypot):
+        for i in range(5):
+            honeypot.interact(req("/s.json", src_ip="10.0.0.1", ts=i * 60))
+        honeypot.interact(req("/once.html", src_ip="10.0.0.2"))
+        summary = honeypot.session_summary()
+        assert summary["visitors"] == 2
+        assert summary["returning"] == 1
+        assert summary["single-shot"] == 1
+        assert honeypot.top_visitors(1) == [("10.0.0.1", 5)]
+
+    def test_distinct_uris_tracked(self, honeypot):
+        honeypot.interact(req("/a.html"))
+        honeypot.interact(req("/b.html"))
+        assert honeypot.session_of("198.51.100.9").distinct_uris == {
+            "/a.html",
+            "/b.html",
+        }

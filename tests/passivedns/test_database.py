@@ -1,0 +1,192 @@
+"""Tests for the columnar passive DNS database."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.clock import SECONDS_PER_DAY
+from repro.dns.message import RCode
+from repro.dns.name import DomainName
+from repro.passivedns.database import PassiveDnsDatabase
+from repro.passivedns.record import DnsObservation
+from repro.passivedns.sampling import sample_domains, scale_up
+from repro.rand import make_rng
+
+DAY = SECONDS_PER_DAY
+D1 = DomainName("alpha.com")
+D2 = DomainName("beta.net")
+
+
+@pytest.fixture
+def db():
+    database = PassiveDnsDatabase()
+    database.add(D1, timestamp=0, count=10)
+    database.add(D1, timestamp=5 * DAY, count=5)
+    database.add(D2, timestamp=2 * DAY, count=3)
+    return database
+
+
+class TestIngestion:
+    def test_totals(self, db):
+        assert db.total_responses() == 18
+        assert db.unique_domains() == 2
+        assert db.row_count() == 3
+
+    def test_ingest_filters_non_nx(self, db):
+        db.ingest(DnsObservation(DomainName("x.org"), RCode.NOERROR, 0))
+        assert db.unique_domains() == 2
+        db.ingest(DnsObservation(DomainName("x.org"), RCode.NXDOMAIN, 0))
+        assert db.unique_domains() == 3
+
+    def test_subdomains_collapse_via_ingest(self, db):
+        db.ingest(
+            DnsObservation(DomainName("www.alpha.com"), RCode.NXDOMAIN, 9 * DAY)
+        )
+        assert db.profile(D1).total_queries == 16
+
+    def test_count_validation(self, db):
+        with pytest.raises(ValueError):
+            db.add(D1, timestamp=0, count=0)
+
+
+class TestProfiles:
+    def test_profile_aggregates(self, db):
+        profile = db.profile(D1)
+        assert profile.first_seen == 0
+        assert profile.last_seen == 5 * DAY
+        assert profile.total_queries == 15
+        assert profile.lifespan_days() == 5
+        assert profile.tld == "com"
+
+    def test_profile_missing(self, db):
+        assert db.profile(DomainName("nope.org")) is None
+
+    def test_profile_by_subdomain(self, db):
+        assert db.profile(DomainName("www.alpha.com")).domain == D1
+
+    def test_monthly_rate(self, db):
+        # 15 queries over 5 days -> one-month floor -> 15/month... wait:
+        # months = max(5,1)/30 = 1/6; max(1/6, 1.0) = 1.0 -> 15.0.
+        assert db.profile(D1).monthly_rate() == pytest.approx(15.0)
+
+    def test_high_traffic_selection(self, db):
+        assert {p.domain for p in db.high_traffic_domains(10)} == {D1}
+        assert {p.domain for p in db.high_traffic_domains(1)} == {D1, D2}
+
+
+class TestSeries:
+    def test_monthly_series(self, db):
+        series = db.monthly_response_series()
+        assert series == {"2014-01": 18} or sum(series.values()) == 18
+
+    def test_monthly_series_spans_months(self):
+        db = PassiveDnsDatabase()
+        db.add(D1, timestamp=0, count=1)           # 1970-01
+        db.add(D1, timestamp=40 * DAY, count=2)    # 1970-02
+        series = db.monthly_response_series()
+        assert series["1970-01"] == 1
+        assert series["1970-02"] == 2
+
+    def test_empty_series(self):
+        assert PassiveDnsDatabase().monthly_response_series() == {}
+
+    def test_daily_series(self, db):
+        series = db.daily_series_for(D1, start=0, end=7 * DAY)
+        assert series[0] == 10
+        assert series[5] == 5
+        assert series.sum() == 15
+
+    def test_daily_series_window_clips(self, db):
+        series = db.daily_series_for(D1, start=DAY, end=6 * DAY)
+        assert series.sum() == 5
+
+    def test_daily_series_unknown_domain(self, db):
+        assert db.daily_series_for(DomainName("nope.org"), 0, DAY).sum() == 0
+
+    def test_timeline_around_pivot(self, db):
+        timeline = db.timeline_around(D1, pivot=3 * DAY, days_before=3, days_after=4)
+        assert len(timeline) == 7
+        assert timeline[0] == 10  # day -3 = t0
+        assert timeline[5] == 5   # day +2 = t5
+
+
+class TestTlds:
+    def test_tld_histogram(self, db):
+        histogram = db.tld_histogram()
+        assert histogram["com"] == (1, 15)
+        assert histogram["net"] == (1, 3)
+
+    def test_top_tlds_order(self):
+        db = PassiveDnsDatabase()
+        for i in range(3):
+            db.add(DomainName(f"a{i}.com"), 0)
+        db.add(DomainName("b.net"), 0, count=100)
+        top = db.top_tlds(2)
+        assert top[0][0] == "com"  # ranked by unique domains
+        assert top[0][1] == 3
+        assert top[1] == ("net", 1, 100)
+
+
+class TestLifespanDecay:
+    def test_decay_shapes(self):
+        db = PassiveDnsDatabase()
+        # d1 queried on days 0,1,2; d2 only day 0.
+        for day in range(3):
+            db.add(D1, day * DAY, count=2)
+        db.add(D2, 10 * DAY, count=1)  # its own day 0
+        domains, queries = db.lifespan_decay(max_days=5)
+        assert domains.tolist() == [2, 1, 1, 0, 0]
+        assert queries.tolist() == [3, 2, 2, 0, 0]
+
+    def test_decay_window_bound(self):
+        db = PassiveDnsDatabase()
+        db.add(D1, 0)
+        db.add(D1, 100 * DAY)
+        domains, queries = db.lifespan_decay(max_days=10)
+        assert queries.sum() == 1  # the day-100 row falls outside
+
+    def test_empty_decay(self):
+        domains, queries = PassiveDnsDatabase().lifespan_decay(5)
+        assert domains.sum() == 0 and queries.sum() == 0
+
+    @given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 30)), min_size=1, max_size=50))
+    def test_decay_conserves_queries(self, rows):
+        db = PassiveDnsDatabase()
+        for domain_index, day in rows:
+            db.add(DomainName(f"d{domain_index}.com"), day * DAY)
+        _, queries = db.lifespan_decay(max_days=31)
+        assert queries.sum() == len(rows)
+
+
+class TestSampling:
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError):
+            sample_domains([D1], ratio=0.0, rng=make_rng(1))
+        with pytest.raises(ValueError):
+            sample_domains([D1], ratio=1.5, rng=make_rng(1))
+
+    def test_sample_size(self):
+        population = [DomainName(f"d{i}.com") for i in range(1000)]
+        sample = sample_domains(population, 0.1, make_rng(2))
+        assert len(sample) == 100
+        assert len(set(sample)) == 100  # without replacement
+
+    def test_at_least_one(self):
+        sample = sample_domains([D1, D2], 0.001, make_rng(1))
+        assert len(sample) == 1
+        assert sample_domains([D1, D2], 0.001, make_rng(1), at_least_one=False) == []
+
+    def test_empty_population(self):
+        assert sample_domains([], 0.5, make_rng(1)) == []
+
+    def test_deterministic(self):
+        population = [DomainName(f"d{i}.com") for i in range(100)]
+        assert sample_domains(population, 0.2, make_rng(5)) == sample_domains(
+            population, 0.2, make_rng(5)
+        )
+
+    def test_scale_up(self):
+        assert scale_up(146, 1 / 1000) == pytest.approx(146_000)
+        with pytest.raises(ValueError):
+            scale_up(1, 0)

@@ -1,0 +1,73 @@
+"""Tests for multi-vantage collection."""
+
+import pytest
+
+from repro.dns.name import DomainName
+from repro.passivedns.vantage import (
+    MultiVantageCollector,
+    replay_clients,
+)
+from repro.rand import make_rng
+
+GONE = DomainName("www.some-nx.com")
+
+
+class TestCollector:
+    def test_requires_vantage_points(self):
+        with pytest.raises(ValueError):
+            MultiVantageCollector(0)
+
+    def test_stable_client_assignment(self):
+        collector = MultiVantageCollector(4)
+        assert collector.resolver_for(5) is collector.resolver_for(5)
+        assert collector.resolver_for(1) is not collector.resolver_for(2)
+
+    def test_single_vantage_suppresses_repeats(self):
+        collector = MultiVantageCollector(1)
+        for i in range(10):
+            collector.query(client_id=i, qname=GONE, now=i * 10)
+        stats = collector.stats()
+        assert stats.client_queries == 10
+        assert stats.channel_observations == 1
+        assert stats.suppression == pytest.approx(0.9)
+
+    def test_independent_caches_per_vantage(self):
+        collector = MultiVantageCollector(5)
+        for client in range(5):
+            collector.query(client_id=client, qname=GONE, now=client)
+        # Five clients behind five different resolvers: five cache
+        # misses, five observations.
+        assert collector.stats().channel_observations == 5
+
+    def test_database_wired_to_channel(self):
+        collector = MultiVantageCollector(2)
+        collector.query(0, GONE, now=0)
+        assert collector.database.total_responses() == 1
+        assert collector.database.profile(GONE) is not None
+
+    def test_no_negative_cache_sees_everything(self):
+        collector = MultiVantageCollector(1, use_negative_cache=False)
+        for i in range(10):
+            collector.query(client_id=0, qname=GONE, now=i)
+        assert collector.stats().suppression == 0.0
+
+
+class TestReplay:
+    def test_more_vantage_points_more_visibility(self):
+        single = replay_clients(
+            MultiVantageCollector(1), make_rng(4), clients=32, queries=600
+        )
+        many = replay_clients(
+            MultiVantageCollector(16), make_rng(4), clients=32, queries=600
+        )
+        assert single.client_queries == many.client_queries == 600
+        assert many.channel_observations > single.channel_observations
+
+    def test_replay_deterministic(self):
+        a = replay_clients(
+            MultiVantageCollector(4), make_rng(9), clients=16, queries=300
+        )
+        b = replay_clients(
+            MultiVantageCollector(4), make_rng(9), clients=16, queries=300
+        )
+        assert a.channel_observations == b.channel_observations

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.seed == 0
+        assert args.domains == 6_000
+
+
+class TestClassifierCommands:
+    def test_squat_command(self, capsys):
+        assert main(["squat", "gogle.com", "clean-site.org"]) == 0
+        out = capsys.readouterr().out
+        assert "typosquatting" in out
+        assert "clean" in out
+
+    def test_dga_command(self, capsys):
+        assert main(["dga", "--seed", "1", "xkqzvwplfmqr.com", "schoolbook.com"]) == 0
+        out = capsys.readouterr().out
+        assert "DGA" in out
+        assert "benign" in out
+
+
+class TestStudyCommands:
+    """Small-population smoke runs of every study command."""
+
+    ARGS = ["--seed", "0", "--domains", "800", "--honeypot-scale", "0.001"]
+
+    def test_scale(self, capsys):
+        assert main(["scale"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out and "Figure 6" in out
+
+    def test_origin(self, capsys):
+        assert main(["origin"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "WHOIS history join" in out
+        assert "Figure 7" in out and "Figure 8" in out
+
+    def test_security(self, capsys):
+        assert main(["security"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Figure 15" in out
+
+    def test_selection(self, capsys):
+        assert main(["selection"] + self.ARGS) == 0
+        assert "selected study domains" in capsys.readouterr().out
+
+    def test_sinkhole(self, capsys):
+        assert main(["sinkhole"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "sinkhole classification" in out
+        assert "suspicious fraction" in out
+
+
+class TestReportCommand:
+    def test_report_renders_everything(self, capsys):
+        assert main(
+            ["report", "--seed", "0", "--domains", "800",
+             "--honeypot-scale", "0.0008"]
+        ) == 0
+        out = capsys.readouterr().out
+        for marker in ("Figure 3", "Table 1", "Figure 15", "§4.4"):
+            assert marker in out, marker
+
+
+class TestTraceAndValidate:
+    def test_trace_roundtrip(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "trace")
+        assert main(["trace", "generate", out_dir, "--domains", "500"]) == 0
+        assert "saved trace" in capsys.readouterr().out
+        assert main(["trace", "analyze", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "loaded trace" in out
+        assert "Figure 3" in out and "Figure 4" in out
+
+    def test_validate_scale_only(self, capsys):
+        code = main(
+            ["validate", "--seeds", "1", "--domains", "900", "--skip-origin"]
+        )
+        out = capsys.readouterr().out
+        assert "shape robustness" in out
+        assert code in (0, 1)  # robustness verdict, not a crash

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs green end to end.
+
+These guard the examples against API drift; each runs at the smallest
+population that still exercises its full code path.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "0", "1200")
+        assert result.returncode == 0, result.stderr
+        assert "Figure 3" in result.stdout
+        assert "Table 1" in result.stdout
+
+    def test_domain_lifecycle(self):
+        result = run_example("domain_lifecycle.py")
+        assert result.returncode == 0, result.stderr
+        assert "NXDOMAIN" in result.stdout
+        assert "drop-catch wins: 1" in result.stdout
+
+    def test_squatting_sweep(self):
+        result = run_example("squatting_sweep.py")
+        assert result.returncode == 0, result.stderr
+        assert "typosquatting" in result.stdout
+
+    def test_dga_hunting(self):
+        result = run_example("dga_hunting.py", "1")
+        assert result.returncode == 0, result.stderr
+        assert "per-family recall" in result.stdout
+        assert "threshold sweep" in result.stdout
+
+    def test_botnet_takeover(self):
+        result = run_example("botnet_takeover.py", "3")
+        assert result.returncode == 0, result.stderr
+        assert "getTask.php" in result.stdout
+        assert "google-proxy" in result.stdout
+
+    def test_sinkhole_monitor(self):
+        result = run_example("sinkhole_monitor.py", "1")
+        assert result.returncode == 0, result.stderr
+        assert "periodic pollers" in result.stdout
+        assert "defensive registration" in result.stdout

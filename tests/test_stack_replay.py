@@ -1,0 +1,107 @@
+"""Fast-path / full-stack consistency.
+
+The 8-year trace writes aggregated rows straight into the database
+(the SIE-style pre-aggregated path).  This test replays a sample of
+the same per-domain activity through the *full* stack — clients →
+recursive resolvers with negative caching → sensors → channel →
+database — and checks the two paths agree on what they must agree on:
+
+- every replayed domain appears in both stores;
+- the stack sees at most the fast path's counts (negative caching can
+  only suppress, never invent);
+- with caching disabled and one client per query the two paths agree
+  exactly.
+"""
+
+import pytest
+
+from repro.clock import SECONDS_PER_DAY
+from repro.passivedns.vantage import MultiVantageCollector
+from repro.workloads.trace import NxdomainTraceGenerator, TraceConfig
+
+
+@pytest.fixture(scope="module")
+def trace():
+    config = TraceConfig(total_domains=400, squat_count=16)
+    return NxdomainTraceGenerator(seed=51, config=config).generate()
+
+
+def replay_domain(collector, record, daily_counts, spread_clients):
+    """Re-issue one domain's NX queries as client lookups."""
+    client = 0
+    for day, count in enumerate(daily_counts):
+        day_start = record.became_nx_at + day * SECONDS_PER_DAY
+        for i in range(int(count)):
+            # Spread queries across the day (and optionally clients).
+            timestamp = day_start + (i * SECONDS_PER_DAY) // max(int(count), 1)
+            collector.query(
+                client_id=client, qname=record.domain, now=timestamp
+            )
+            if spread_clients:
+                client += 1
+
+
+@pytest.fixture(scope="module")
+def sample(trace):
+    # A handful of modest-volume domains keeps the replay fast.
+    records = []
+    for record in trace.population:
+        profile = trace.nx_db.profile(record.domain)
+        if profile is None or not 5 <= profile.total_queries <= 120:
+            continue
+        records.append((record, profile))
+        if len(records) == 8:
+            break
+    assert records, "trace produced no replayable domains"
+    return records
+
+
+class TestStackReplay:
+    def test_no_cache_replay_matches_fast_path_exactly(self, trace, sample):
+        collector = MultiVantageCollector(1, use_negative_cache=False)
+        for record, profile in sample:
+            series = trace.nx_db.daily_series_for(
+                record.domain,
+                record.became_nx_at,
+                profile.last_seen + SECONDS_PER_DAY,
+            )
+            replay_domain(collector, record, series, spread_clients=False)
+        for record, profile in sample:
+            replayed = collector.database.profile(record.domain)
+            assert replayed is not None, record.domain
+            fast_path = trace.nx_db.daily_series_for(
+                record.domain,
+                record.became_nx_at,
+                profile.last_seen + SECONDS_PER_DAY,
+            ).sum()
+            assert replayed.total_queries == fast_path, record.domain
+
+    def test_cached_replay_only_suppresses(self, trace, sample):
+        collector = MultiVantageCollector(1, use_negative_cache=True)
+        for record, profile in sample:
+            series = trace.nx_db.daily_series_for(
+                record.domain,
+                record.became_nx_at,
+                profile.last_seen + SECONDS_PER_DAY,
+            )
+            replay_domain(collector, record, series, spread_clients=False)
+        total_fast = 0
+        total_stack = 0
+        for record, profile in sample:
+            replayed = collector.database.profile(record.domain)
+            assert replayed is not None, record.domain
+            fast_path = trace.nx_db.daily_series_for(
+                record.domain,
+                record.became_nx_at,
+                profile.last_seen + SECONDS_PER_DAY,
+            ).sum()
+            assert replayed.total_queries <= fast_path
+            total_fast += int(fast_path)
+            total_stack += replayed.total_queries
+        assert 0 < total_stack <= total_fast
+
+    def test_every_replayed_domain_is_nxdomain(self, trace, sample):
+        collector = MultiVantageCollector(2)
+        record, _ = sample[0]
+        result = collector.query(0, record.domain, now=record.became_nx_at)
+        assert result.is_nxdomain

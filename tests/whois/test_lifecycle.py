@@ -1,0 +1,168 @@
+"""Tests for the ICANN lifecycle state machine."""
+
+import pytest
+
+from repro.clock import SECONDS_PER_DAY
+from repro.dns.name import DomainName
+from repro.errors import LifecycleError
+from repro.whois.lifecycle import (
+    DomainLifecycle,
+    DomainStatus,
+    EventKind,
+    LifecyclePolicy,
+)
+
+YEAR = 365 * SECONDS_PER_DAY
+DAY = SECONDS_PER_DAY
+DOMAIN = DomainName("example.com")
+
+
+@pytest.fixture
+def lifecycle():
+    lc = DomainLifecycle(DOMAIN)
+    lc.register(owner="h-1", at=0, years=1)
+    return lc
+
+
+class TestRegistration:
+    def test_fresh_domain_is_available(self):
+        assert DomainLifecycle(DOMAIN).status == DomainStatus.AVAILABLE
+
+    def test_register_sets_window(self, lifecycle):
+        assert lifecycle.status == DomainStatus.REGISTERED
+        assert lifecycle.created_at == 0
+        assert lifecycle.expires_at == YEAR
+        assert lifecycle.owner == "h-1"
+
+    def test_double_register_rejected(self, lifecycle):
+        with pytest.raises(LifecycleError):
+            lifecycle.register(owner="h-2", at=10)
+
+    def test_minimum_one_year(self):
+        lc = DomainLifecycle(DOMAIN)
+        with pytest.raises(LifecycleError):
+            lc.register(owner="h-1", at=0, years=0)
+
+    def test_renewal_extends(self, lifecycle):
+        lifecycle.renew(at=100 * DAY, years=2)
+        assert lifecycle.expires_at == 3 * YEAR
+
+    def test_renewal_requires_registered_or_grace(self):
+        lc = DomainLifecycle(DOMAIN)
+        with pytest.raises(LifecycleError):
+            lc.renew(at=0)
+
+
+class TestExpiryPipeline:
+    def test_full_pipeline_timing(self, lifecycle):
+        policy = lifecycle.policy
+        lifecycle.tick(YEAR)
+        assert lifecycle.status == DomainStatus.AUTO_RENEW_GRACE
+
+        lifecycle.tick(policy.grace_end(YEAR))
+        assert lifecycle.status == DomainStatus.REDEMPTION
+
+        lifecycle.tick(policy.redemption_end(YEAR))
+        assert lifecycle.status == DomainStatus.PENDING_DELETE
+
+        lifecycle.tick(policy.delete_at(YEAR))
+        assert lifecycle.status == DomainStatus.AVAILABLE
+        assert lifecycle.owner is None
+
+    def test_large_jump_processes_all_stages(self, lifecycle):
+        events = lifecycle.tick(YEAR * 3)
+        kinds = [
+            event.kind
+            for event in events
+            if event.kind != EventKind.EXPIRY_NOTICE
+        ]
+        assert kinds == [
+            EventKind.EXPIRED,
+            EventKind.ENTERED_REDEMPTION,
+            EventKind.ENTERED_PENDING_DELETE,
+            EventKind.RELEASED,
+        ]
+        # The returned batch is time-ordered, notices included.
+        times = [event.at for event in events]
+        assert times == sorted(times)
+
+    def test_tick_idempotent(self, lifecycle):
+        lifecycle.tick(YEAR)
+        assert lifecycle.tick(YEAR) == []
+
+    def test_renew_during_grace_recovers(self, lifecycle):
+        lifecycle.tick(YEAR + 10 * DAY)
+        assert lifecycle.status == DomainStatus.AUTO_RENEW_GRACE
+        lifecycle.renew(at=YEAR + 10 * DAY)
+        assert lifecycle.status == DomainStatus.REGISTERED
+        assert lifecycle.expires_at == 2 * YEAR
+
+    def test_restore_from_redemption(self, lifecycle):
+        policy = lifecycle.policy
+        lifecycle.tick(policy.grace_end(YEAR) + DAY)
+        assert lifecycle.status == DomainStatus.REDEMPTION
+        lifecycle.restore(at=policy.grace_end(YEAR) + DAY)
+        assert lifecycle.status == DomainStatus.REGISTERED
+
+    def test_restore_requires_redemption(self, lifecycle):
+        with pytest.raises(LifecycleError):
+            lifecycle.restore(at=10)
+
+    def test_no_restore_after_pending_delete(self, lifecycle):
+        lifecycle.tick(lifecycle.policy.redemption_end(YEAR) + DAY)
+        assert lifecycle.status == DomainStatus.PENDING_DELETE
+        with pytest.raises(LifecycleError):
+            lifecycle.restore(at=lifecycle.policy.redemption_end(YEAR) + DAY)
+
+    def test_reregistration_after_release(self, lifecycle):
+        lifecycle.tick(YEAR * 3)
+        lifecycle.register(owner="h-2", at=YEAR * 3, years=1)
+        assert lifecycle.status == DomainStatus.REGISTERED
+        assert lifecycle.events[-1].kind == EventKind.REREGISTERED
+
+
+class TestNotices:
+    def test_three_notices_sent(self, lifecycle):
+        lifecycle.tick(YEAR + 5 * DAY)
+        assert lifecycle.notices_sent == 3
+        notice_events = [
+            e for e in lifecycle.events if e.kind == EventKind.EXPIRY_NOTICE
+        ]
+        assert [e.at for e in notice_events] == [
+            YEAR - 30 * DAY,
+            YEAR - 7 * DAY,
+            YEAR + 3 * DAY,
+        ]
+
+    def test_notices_not_duplicated(self, lifecycle):
+        lifecycle.tick(YEAR - 20 * DAY)
+        lifecycle.tick(YEAR - 10 * DAY)
+        assert lifecycle.notices_sent == 1
+
+    def test_renewal_resets_notices(self, lifecycle):
+        lifecycle.tick(YEAR - 20 * DAY)
+        lifecycle.renew(at=YEAR - 20 * DAY)
+        assert lifecycle.notices_sent == 0
+
+
+class TestNxVisibility:
+    def test_resolves_through_grace(self, lifecycle):
+        lifecycle.tick(YEAR + DAY)
+        assert lifecycle.status.resolves_in_dns
+
+    def test_nx_from_redemption_onward(self, lifecycle):
+        lifecycle.tick(lifecycle.policy.grace_end(YEAR))
+        assert not lifecycle.status.resolves_in_dns
+        assert lifecycle.became_nx_at() == lifecycle.policy.grace_end(YEAR)
+
+    def test_never_registered_has_no_nx_time(self):
+        assert DomainLifecycle(DOMAIN).became_nx_at() is None
+
+    def test_custom_policy(self):
+        policy = LifecyclePolicy(
+            auto_renew_grace_days=0, redemption_days=10, pending_delete_days=1
+        )
+        lc = DomainLifecycle(DOMAIN, policy)
+        lc.register(owner="h-1", at=0, years=1)
+        lc.tick(YEAR + 11 * DAY)
+        assert lc.status == DomainStatus.AVAILABLE

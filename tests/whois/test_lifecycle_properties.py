@@ -1,0 +1,123 @@
+"""Property-based tests on lifecycle invariants.
+
+Random interleavings of time advancement, renewals, and restores must
+never corrupt the state machine: status only moves along the legal
+graph, events stay time-ordered, and a released domain is always
+re-registrable.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clock import SECONDS_PER_DAY
+from repro.dns.name import DomainName
+from repro.errors import LifecycleError
+from repro.whois.lifecycle import DomainLifecycle, DomainStatus, EventKind
+
+DAY = SECONDS_PER_DAY
+
+#: Legal successor states (self-loops implied).  One large tick may
+#: traverse several edges, so the property checks reachability.
+_LEGAL_NEXT = {
+    DomainStatus.AVAILABLE: {DomainStatus.REGISTERED},
+    DomainStatus.REGISTERED: {DomainStatus.AUTO_RENEW_GRACE},
+    DomainStatus.AUTO_RENEW_GRACE: {
+        DomainStatus.REGISTERED,  # renewal
+        DomainStatus.REDEMPTION,
+    },
+    DomainStatus.REDEMPTION: {
+        DomainStatus.REGISTERED,  # restore
+        DomainStatus.PENDING_DELETE,
+    },
+    DomainStatus.PENDING_DELETE: {DomainStatus.AVAILABLE},
+}
+
+
+def _reachable(start: DomainStatus) -> set:
+    seen = set()
+    frontier = {start}
+    while frontier:
+        state = frontier.pop()
+        for successor in _LEGAL_NEXT[state]:
+            if successor not in seen:
+                seen.add(successor)
+                frontier.add(successor)
+    return seen
+
+actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("tick"), st.integers(1, 400)),    # advance days
+        st.tuples(st.just("renew"), st.integers(1, 3)),     # renew years
+        st.tuples(st.just("restore"), st.just(0)),
+        st.tuples(st.just("register"), st.integers(1, 2)),  # register years
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(actions)
+@settings(max_examples=200)
+def test_random_interleavings_respect_the_state_graph(script):
+    lifecycle = DomainLifecycle(DomainName("prop.example.com"))
+    lifecycle.register(owner="h-0", at=0, years=1)
+    now = 0
+    previous = lifecycle.status
+    for action, argument in script:
+        try:
+            if action == "tick":
+                now += argument * DAY
+                lifecycle.tick(now)
+            elif action == "renew":
+                lifecycle.renew(at=now, years=argument)
+            elif action == "restore":
+                lifecycle.restore(at=now)
+            elif action == "register":
+                lifecycle.register(owner="h-n", at=now, years=argument)
+        except LifecycleError:
+            # Illegal for the current state: state must be unchanged.
+            assert lifecycle.status == previous
+            continue
+        current = lifecycle.status
+        if current != previous:
+            assert current in _reachable(previous), (previous, current)
+        previous = current
+
+
+@given(actions)
+@settings(max_examples=100)
+def test_events_are_time_ordered_and_dates_consistent(script):
+    lifecycle = DomainLifecycle(DomainName("prop.example.com"))
+    lifecycle.register(owner="h-0", at=0, years=1)
+    now = 0
+    for action, argument in script:
+        try:
+            if action == "tick":
+                now += argument * DAY
+                lifecycle.tick(now)
+            elif action == "renew":
+                lifecycle.renew(at=now, years=argument)
+            elif action == "restore":
+                lifecycle.restore(at=now)
+            elif action == "register":
+                lifecycle.register(owner="h-n", at=now, years=argument)
+        except LifecycleError:
+            continue
+    times = [event.at for event in lifecycle.events]
+    assert times == sorted(times)
+    if lifecycle.status != DomainStatus.AVAILABLE:
+        assert lifecycle.expires_at is not None
+        assert lifecycle.created_at is not None
+        assert lifecycle.expires_at > lifecycle.created_at
+
+
+@given(st.integers(1, 5))
+def test_released_domain_is_always_reregistrable(years):
+    lifecycle = DomainLifecycle(DomainName("prop.example.com"))
+    lifecycle.register(owner="h-0", at=0, years=years)
+    # Jump far past every deadline.
+    lifecycle.tick(years * 365 * DAY + 365 * DAY)
+    assert lifecycle.status == DomainStatus.AVAILABLE
+    lifecycle.register(owner="h-1", at=10**9, years=1)
+    assert lifecycle.status == DomainStatus.REGISTERED
+    assert lifecycle.events[-1].kind == EventKind.REREGISTERED
