@@ -48,4 +48,7 @@ def __getattr__(name):
         from repro.core import study
 
         return getattr(study, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    # the __getattr__ protocol requires AttributeError here
+    raise AttributeError(  # repro: noqa[REP003]
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -1,0 +1,57 @@
+"""``repro.analysis`` — an AST-based determinism & layering linter.
+
+The reproduction's headline guarantee — the same seed reproduces every
+table bit-for-bit — rests on invariants the interpreter never checks:
+all randomness must flow through the seeded :mod:`repro.rand` streams,
+all time through :mod:`repro.clock`, and the import DAG must keep
+substrates independent of the study layer.  This package enforces
+those invariants statically, with zero third-party dependencies, using
+only :mod:`ast` and :mod:`tokenize`.
+
+Pieces:
+
+- :mod:`repro.analysis.rules` — the :class:`~repro.analysis.rules.Rule`
+  plugin API and registry;
+- :mod:`repro.analysis.builtin` — the eight REP001–REP008 rules;
+- :mod:`repro.analysis.engine` — the single-pass visitor engine and
+  ``# repro: noqa[RULE]`` suppression handling;
+- :mod:`repro.analysis.baseline` — accepted-debt bookkeeping;
+- :mod:`repro.analysis.report` — text and versioned-JSON output;
+- :mod:`repro.analysis.main` — the driver behind ``repro-nxd lint``
+  and ``python -m repro.analysis``.
+
+Programmatic use::
+
+    from repro.analysis import Analyzer, AnalysisConfig, default_rules
+
+    analyzer = Analyzer(AnalysisConfig(), default_rules())
+    findings = analyzer.check_source(code, "snippet.py")
+"""
+
+from repro.analysis.config import AnalysisConfig, load_config
+from repro.analysis.engine import Analyzer, ModuleContext
+from repro.analysis.findings import META_RULE_ID, Finding, Severity
+from repro.analysis.main import main, run_lint
+from repro.analysis.rules import Rule, all_rule_ids, instantiate, register
+
+__all__ = [
+    "AnalysisConfig",
+    "Analyzer",
+    "Finding",
+    "META_RULE_ID",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "all_rule_ids",
+    "default_rules",
+    "instantiate",
+    "load_config",
+    "main",
+    "register",
+    "run_lint",
+]
+
+
+def default_rules():
+    """Fresh instances of every registered rule, in id order."""
+    return instantiate(all_rule_ids())

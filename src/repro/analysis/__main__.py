@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` — run the linter standalone."""
+
+import sys
+
+from repro.analysis.main import main
+
+sys.exit(main())

@@ -1,0 +1,82 @@
+"""Baseline bookkeeping.
+
+A baseline is the committed set of findings a repository has accepted
+(temporarily): matching findings are downgraded to warnings, anything
+new fails the run.  Matching ignores line numbers — a finding is
+identified by ``(rule, path, message)`` with multiplicity — so pure
+code motion does not invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+from repro.errors import ConfigError
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> Counter:
+    """Fingerprint multiset from a baseline file (empty if absent)."""
+    if not path.is_file():
+        return Counter()
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ConfigError(f"baseline {path} is missing 'findings'")
+    counts: Counter = Counter()
+    for entry in data["findings"]:
+        counts[
+            f"{entry['rule']}::{entry['path']}::{entry['message']}"
+        ] += int(entry.get("count", 1))
+    return counts
+
+
+def save_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write the current findings as the new accepted baseline."""
+    counts = Counter(f.fingerprint() for f in findings)
+    entries = []
+    for fingerprint in sorted(counts):
+        rule_id, relpath, message = fingerprint.split("::", 2)
+        entries.append(
+            {
+                "rule": rule_id,
+                "path": relpath,
+                "message": message,
+                "count": counts[fingerprint],
+            }
+        )
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "repro.analysis",
+        "findings": entries,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into ``(new, baselined)``.
+
+    Each baseline fingerprint absorbs at most its recorded count of
+    findings; the baselined copies are marked so reports can show them
+    as accepted debt rather than regressions.
+    """
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    known: List[Finding] = []
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if remaining.get(fingerprint, 0) > 0:
+            remaining[fingerprint] -= 1
+            known.append(finding.with_baselined())
+        else:
+            new.append(finding)
+    return new, known

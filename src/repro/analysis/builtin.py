@@ -1,0 +1,441 @@
+"""The built-in REP rules.
+
+Each rule enforces one invariant the reproduction's determinism or
+architecture depends on:
+
+========  ==============================================================
+REP001    all wall-clock time flows through ``repro.clock``
+REP002    all randomness flows through the seeded ``repro.rand`` streams
+REP003    raised exceptions derive from ``ReproError``
+REP004    no bare/broad ``except`` that can swallow ``ReproError``
+REP005    import layering (substrates never import core; nobody imports cli)
+REP006    no mutable default arguments
+REP007    no unordered set/dict iteration feeding report output
+REP008    public functions carry a docstring or a return annotation
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import Rule, register
+
+
+def _dotted(node: ast.AST) -> Tuple[str, ...]:
+    """The attribute chain of an expression, e.g. ``np.random.seed``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+def _inside_sorted_call(node: ast.AST, ctx) -> bool:
+    for ancestor in ctx.ancestors(node):
+        if (
+            isinstance(ancestor, ast.Call)
+            and isinstance(ancestor.func, ast.Name)
+            and ancestor.func.id in ("sorted", "min", "max")
+        ):
+            return True
+    return False
+
+
+@register
+class NoWallClock(Rule):
+    """REP001 — simulated time only; no wall-clock reads outside clock.py."""
+
+    rule_id = "REP001"
+    severity = Severity.ERROR
+    description = (
+        "wall-clock reads (datetime.now/today, time.time) are banned "
+        "outside repro.clock; use SimClock"
+    )
+    node_types = (ast.Call, ast.ImportFrom)
+
+    _BANNED_CALLS = {
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("date", "today"),
+        ("time", "time"),
+        ("time", "time_ns"),
+    }
+    _BANNED_FROM_TIME = {"time", "time_ns"}
+    _EXEMPT_MODULES = ("repro.clock",)
+
+    def applies_to(self, ctx) -> bool:
+        return ctx.module not in self._EXEMPT_MODULES
+
+    def visit(self, node: ast.AST, ctx) -> Iterable[Finding]:
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "time":
+                for alias in node.names:
+                    if alias.name in self._BANNED_FROM_TIME:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"wall-clock import 'from time import "
+                            f"{alias.name}'; simulated time must come "
+                            "from repro.clock.SimClock",
+                        )
+            return
+        dotted = _dotted(node.func)
+        if len(dotted) >= 2 and dotted[-2:] in self._BANNED_CALLS:
+            yield self.finding(
+                ctx,
+                node,
+                f"wall-clock call {'.'.join(dotted)}(); simulated time "
+                "must come from repro.clock.SimClock",
+            )
+
+
+@register
+class NoUnseededRandomness(Rule):
+    """REP002 — every stream derives from the seeded repro.rand factory."""
+
+    rule_id = "REP002"
+    severity = Severity.ERROR
+    description = (
+        "stdlib random / numpy global randomness / unseeded default_rng "
+        "are banned outside repro.rand; use rand.make_rng or "
+        "SeedSequenceFactory"
+    )
+    node_types = (ast.Import, ast.ImportFrom, ast.Call)
+
+    _LEGACY_GLOBAL = {
+        "seed", "rand", "randn", "randint", "random", "choice",
+        "shuffle", "permutation", "normal", "uniform", "bytes",
+    }
+    _EXEMPT_MODULES = ("repro.rand",)
+
+    def applies_to(self, ctx) -> bool:
+        return ctx.module not in self._EXEMPT_MODULES
+
+    def visit(self, node: ast.AST, ctx) -> Iterable[Finding]:
+        advice = "; use repro.rand.make_rng or a SeedSequenceFactory child"
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield self.finding(
+                        ctx, node, "stdlib 'random' module imported" + advice
+                    )
+            return
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "random" or (
+                node.module or ""
+            ).startswith("random."):
+                yield self.finding(
+                    ctx, node, "stdlib 'random' module imported" + advice
+                )
+            elif node.module in ("numpy.random", "np.random"):
+                yield self.finding(
+                    ctx, node, "direct numpy.random import" + advice
+                )
+            return
+        dotted = _dotted(node.func)
+        if len(dotted) >= 2 and dotted[-2] == "random":
+            attr = dotted[-1]
+            if attr == "default_rng" and not node.args and not node.keywords:
+                yield self.finding(
+                    ctx, node, "unseeded default_rng() call" + advice
+                )
+            elif attr in self._LEGACY_GLOBAL:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"global numpy.random.{attr}() draws from shared "
+                    "state" + advice,
+                )
+            elif attr in ("RandomState", "Generator", "PCG64"):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct numpy.random.{attr}(...) construction" + advice,
+                )
+        elif dotted and dotted[-1] == "default_rng" and not node.args and not node.keywords:
+            yield self.finding(
+                ctx, node, "unseeded default_rng() call" + advice
+            )
+
+
+@register
+class RaisesDeriveFromReproError(Rule):
+    """REP003 — library raises use the ReproError hierarchy."""
+
+    rule_id = "REP003"
+    severity = Severity.ERROR
+    description = (
+        "raised exceptions must derive from repro.errors.ReproError "
+        "(builtin classes like ValueError are banned)"
+    )
+    node_types = (ast.Raise,)
+
+    _BANNED = frozenset({
+        "ValueError", "TypeError", "KeyError", "IndexError",
+        "RuntimeError", "Exception", "BaseException", "OSError",
+        "IOError", "ArithmeticError", "ZeroDivisionError",
+        "AttributeError", "LookupError", "StopIteration",
+        "StopAsyncIteration", "EOFError", "BufferError", "MemoryError",
+        "SystemError", "OverflowError", "RecursionError",
+        "FileNotFoundError", "PermissionError", "FileExistsError",
+        "NotADirectoryError", "IsADirectoryError", "UnicodeError",
+        "UnicodeDecodeError", "UnicodeEncodeError",
+    })
+
+    def visit(self, node: ast.Raise, ctx) -> Iterable[Finding]:
+        exc = node.exc
+        if exc is None:
+            return
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        if isinstance(target, ast.Name) and target.id in self._BANNED:
+            yield self.finding(
+                ctx,
+                node,
+                f"raise of builtin {target.id}; raise a "
+                "repro.errors.ReproError subclass (e.g. ConfigError) "
+                "instead",
+            )
+
+
+@register
+class NoBroadExcept(Rule):
+    """REP004 — no handler broad enough to swallow ReproError silently."""
+
+    rule_id = "REP004"
+    severity = Severity.ERROR
+    description = (
+        "bare 'except:' and 'except Exception:' without re-raise swallow "
+        "ReproError; catch specific classes"
+    )
+    node_types = (ast.ExceptHandler,)
+
+    _BROAD = ("Exception", "BaseException")
+
+    def visit(self, node: ast.ExceptHandler, ctx) -> Iterable[Finding]:
+        broad = self._broad_name(node.type)
+        if broad is None:
+            return
+        if any(isinstance(inner, ast.Raise) for stmt in node.body
+               for inner in ast.walk(stmt)):
+            return
+        yield self.finding(
+            ctx,
+            node,
+            f"{broad} swallows ReproError; catch the specific error "
+            "classes or re-raise",
+        )
+
+    def _broad_name(self, expr: Optional[ast.AST]) -> Optional[str]:
+        if expr is None:
+            return "bare 'except:'"
+        candidates = expr.elts if isinstance(expr, ast.Tuple) else [expr]
+        for candidate in candidates:
+            dotted = _dotted(candidate)
+            if dotted and dotted[-1] in self._BROAD:
+                return f"'except {dotted[-1]}:' without re-raise"
+        return None
+
+
+@register
+class ImportLayering(Rule):
+    """REP005 — the dependency DAG flows one way."""
+
+    rule_id = "REP005"
+    severity = Severity.ERROR
+    description = (
+        "layering: foundation < substrates < workloads < core < cli; "
+        "imports may only point downward and nothing imports repro.cli"
+    )
+    node_types = (ast.Import, ast.ImportFrom)
+
+    _SUBSTRATES = (
+        "dns", "whois", "passivedns", "honeypot", "blocklist",
+        "dga", "squatting",
+    )
+    _FOUNDATION = ("errors", "clock", "rand", "version", "analysis")
+
+    def visit(self, node: ast.AST, ctx) -> Iterable[Finding]:
+        source_layer = self._layer(ctx.module)
+        if source_layer is None:
+            return
+        for target in self._targets(node, ctx.module):
+            if target in ("repro.cli", "repro.__main__"):
+                if ctx.module not in ("repro.__main__",):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{ctx.module} imports {target}; the CLI is the "
+                        "top of the stack and nothing may depend on it",
+                    )
+                continue
+            target_layer = self._layer(target)
+            if target_layer is None:
+                continue
+            if target_layer > source_layer:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{ctx.module} (layer {self._layer_name(source_layer)}) "
+                    f"imports {target} (layer "
+                    f"{self._layer_name(target_layer)}); imports must "
+                    "point toward the foundation",
+                )
+
+    def _targets(self, node: ast.AST, source: str) -> Iterable[str]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name
+            return
+        module = node.module or ""
+        if node.level:
+            base = source.split(".")
+            # level 1 from repro.dns.cache -> repro.dns
+            base = base[: len(base) - node.level] or base[:1]
+            module = ".".join(base + ([module] if module else []))
+        yield module
+
+    def _layer(self, module: str) -> Optional[int]:
+        if module == "repro" or module in ("repro.cli", "repro.__main__"):
+            return 4
+        if not module.startswith("repro."):
+            return None
+        head = module.split(".")[1]
+        if head == "core":
+            return 3
+        if head == "workloads":
+            return 2
+        if head in self._SUBSTRATES:
+            return 1
+        if head in self._FOUNDATION:
+            return 0
+        return None
+
+    @staticmethod
+    def _layer_name(layer: int) -> str:
+        return ("foundation", "substrate", "workloads", "core", "cli")[layer]
+
+
+@register
+class NoMutableDefaults(Rule):
+    """REP006 — default argument values must be immutable."""
+
+    rule_id = "REP006"
+    severity = Severity.ERROR
+    description = "mutable default arguments ([], {}, set()) are banned"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    _MUTABLE_CALLS = frozenset({
+        "list", "dict", "set", "defaultdict", "OrderedDict", "Counter",
+        "deque", "bytearray",
+    })
+
+    def visit(self, node: ast.AST, ctx) -> Iterable[Finding]:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if self._is_mutable(default):
+                name = getattr(node, "name", "<lambda>")
+                yield self.finding(
+                    ctx,
+                    default,
+                    f"mutable default argument in {name}(); use None "
+                    "and construct inside the body",
+                )
+
+    def _is_mutable(self, expr: ast.AST) -> bool:
+        if isinstance(expr, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call):
+            dotted = _dotted(expr.func)
+            return bool(dotted) and dotted[-1] in self._MUTABLE_CALLS
+        return False
+
+
+@register
+class OrderedReportIteration(Rule):
+    """REP007 — report code orders its iteration explicitly."""
+
+    rule_id = "REP007"
+    severity = Severity.ERROR
+    description = (
+        "set/dict iteration feeding report output must pass through "
+        "sorted(...) in report/figure code"
+    )
+    node_types = (ast.Call, ast.Set, ast.SetComp)
+
+    def applies_to(self, ctx) -> bool:
+        return ctx.config.is_report_code(ctx.relpath)
+
+    def visit(self, node: ast.AST, ctx) -> Iterable[Finding]:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            if not _inside_sorted_call(node, ctx):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "set construction in report code; iteration order is "
+                    "hash-dependent — sort before emitting output",
+                )
+            return
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("keys", "values", "items")
+            and not node.args
+            and not node.keywords
+        ):
+            if not _inside_sorted_call(node, ctx):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f".{node.func.attr}() iteration feeding report output "
+                    "without an explicit sorted(...)",
+                )
+        elif isinstance(node.func, ast.Name) and node.func.id == "set":
+            if not _inside_sorted_call(node, ctx):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "set(...) in report code; iteration order is "
+                    "hash-dependent — sort before emitting output",
+                )
+
+
+@register
+class PublicApiDocumented(Rule):
+    """REP008 — public functions are documented or typed."""
+
+    rule_id = "REP008"
+    severity = Severity.WARNING
+    description = (
+        "public functions need a docstring or a return annotation"
+    )
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def visit(self, node: ast.AST, ctx) -> Iterable[Finding]:
+        if node.name.startswith("_"):
+            return
+        parent = ctx.parent(node)
+        while isinstance(parent, (ast.If, ast.Try)):
+            parent = ctx.parent(parent)
+        if isinstance(parent, ast.ClassDef):
+            if parent.name.startswith("_"):
+                return
+            grandparent = ctx.parent(parent)
+            if not isinstance(grandparent, ast.Module):
+                return
+        elif not isinstance(parent, ast.Module):
+            return  # nested helper; its enclosing function is the API
+        if ast.get_docstring(node) is None and node.returns is None:
+            yield self.finding(
+                ctx,
+                node,
+                f"public function {node.name}() has neither a docstring "
+                "nor a return annotation",
+            )

@@ -1,0 +1,253 @@
+"""The single-pass analysis engine.
+
+For every Python file under the configured paths the engine parses the
+source once, walks the tree once, and dispatches each node to the rules
+that registered interest in its type.  Suppressions are ordinary
+comments::
+
+    value = fetch()  # repro: noqa[REP007] insertion order is the axis order
+
+``# repro: noqa`` with no bracket suppresses every rule on that line.
+An unknown rule id inside the brackets is itself reported as
+``REP000`` so typos cannot silently disable a check.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import META_RULE_ID, Finding, Severity
+from repro.analysis.rules import Rule
+
+#: Sentinel stored in the noqa map when a bare ``# repro: noqa``
+#: suppresses every rule on the line.
+ALL_RULES = "*"
+
+_NOQA_RE = re.compile(r"repro:\s*noqa(?:\[(?P<ids>[^\]]*)\])?", re.IGNORECASE)
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may need to know about the module under analysis."""
+
+    path: Path
+    relpath: str
+    module: str
+    tree: ast.Module
+    source: str
+    config: AnalysisConfig
+    noqa: Dict[int, Set[str]] = field(default_factory=dict)
+    _parents: Dict[int, ast.AST] = field(default_factory=dict)
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of ``node`` (None for the module)."""
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterable[ast.AST]:
+        """Parents of ``node`` from innermost to the module root."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def severity_for(self, rule: Rule) -> Severity:
+        """Configured severity for a rule (default: the rule's own)."""
+        override = self.config.severity_overrides.get(rule.rule_id)
+        return override if override is not None else rule.severity
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether an inline ``noqa`` comment covers this finding."""
+        ids = self.noqa.get(finding.line)
+        if ids is None:
+            return False
+        return ALL_RULES in ids or finding.rule_id in ids
+
+
+def module_name_for(path: Path, root_hint: str = "repro") -> str:
+    """Dotted module name for a file path, rooted at ``root_hint``.
+
+    Files outside any ``repro`` package (fixtures, examples) get a
+    name derived from their stem so rules keyed on module names treat
+    them as external code.
+    """
+    parts = list(path.parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if root_hint in parts:
+        index = len(parts) - 1 - parts[::-1].index(root_hint)
+        return ".".join(parts[index:]) or root_hint
+    return parts[-1] if parts else ""
+
+
+def parse_noqa(source: str) -> Tuple[Dict[int, Set[str]], List[Tuple[int, str]]]:
+    """Extract suppression comments from source text.
+
+    Returns ``(noqa_map, unknown)`` where ``noqa_map`` maps line
+    numbers to suppressed rule-id sets (or :data:`ALL_RULES`) and
+    ``unknown`` lists ``(line, rule_id)`` pairs for ids that match no
+    registered rule.  Comment detection uses :mod:`tokenize`, so
+    ``repro: noqa`` inside a string literal is never a suppression.
+    """
+    from repro.analysis.rules import all_rule_ids
+
+    known = set(all_rule_ids())
+    noqa_map: Dict[int, Set[str]] = {}
+    unknown: List[Tuple[int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        comments = []
+    for line, text in comments:
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        ids_text = match.group("ids")
+        if ids_text is None:
+            noqa_map.setdefault(line, set()).add(ALL_RULES)
+            continue
+        for raw in ids_text.split(","):
+            rule_id = raw.strip().upper()
+            if not rule_id:
+                continue
+            if rule_id not in known:
+                unknown.append((line, rule_id))
+            noqa_map.setdefault(line, set()).add(rule_id)
+    return noqa_map, unknown
+
+
+def _build_parents(tree: ast.Module) -> Dict[int, ast.AST]:
+    parents: Dict[int, ast.AST] = {}
+    stack: List[ast.AST] = [tree]
+    while stack:
+        node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+            stack.append(child)
+    return parents
+
+
+class Analyzer:
+    """Walks a file set once and dispatches nodes to rules."""
+
+    def __init__(self, config: AnalysisConfig, rules: Sequence[Rule]) -> None:
+        self.config = config
+        self.rules = list(rules)
+        self._dispatch: Dict[type, List[Rule]] = {}
+        for rule in self.rules:
+            for node_type in rule.node_types:
+                self._dispatch.setdefault(node_type, []).append(rule)
+
+    def run(
+        self,
+        root: Path,
+        paths: Sequence[Path],
+        honor_excludes: bool = True,
+    ) -> List[Finding]:
+        """Analyze every file and return findings sorted by location.
+
+        ``honor_excludes=False`` disables the configured exclude
+        patterns — used when the caller named the paths explicitly, so
+        an ``examples/*`` exclude cannot silently turn an explicit
+        ``lint examples`` into a no-op.
+        """
+        findings: List[Finding] = []
+        for path in self._iter_files(root, paths, honor_excludes):
+            findings.extend(self.check_file(root, path))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        return findings
+
+    def check_file(self, root: Path, path: Path) -> List[Finding]:
+        """Analyze one file."""
+        relpath = self._relpath(root, path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            return [self._meta(relpath, 1, f"unreadable file: {exc}")]
+        return self.check_source(source, relpath)
+
+    def check_source(self, source: str, relpath: str) -> List[Finding]:
+        """Analyze source text as though read from ``relpath``."""
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            return [self._meta(relpath, exc.lineno or 1, f"syntax error: {exc.msg}")]
+        noqa_map, unknown = parse_noqa(source)
+        ctx = ModuleContext(
+            path=Path(relpath),
+            relpath=relpath,
+            module=module_name_for(Path(relpath)),
+            tree=tree,
+            source=source,
+            config=self.config,
+            noqa=noqa_map,
+        )
+        ctx._parents = _build_parents(tree)
+        active = [rule for rule in self.rules if rule.applies_to(ctx)]
+        active_ids = {rule.rule_id for rule in active}
+        findings: List[Finding] = []
+        for line, rule_id in unknown:
+            findings.append(
+                self._meta(
+                    relpath,
+                    line,
+                    f"unknown rule id {rule_id!r} in suppression comment",
+                )
+            )
+        for node in ast.walk(tree):
+            for rule in self._dispatch.get(type(node), ()):
+                if rule.rule_id not in active_ids:
+                    continue
+                for finding in rule.visit(node, ctx):
+                    if not ctx.is_suppressed(finding):
+                        findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        return findings
+
+    def _iter_files(
+        self, root: Path, paths: Sequence[Path], honor_excludes: bool
+    ) -> Iterable[Path]:
+        seen: Set[Path] = set()
+        for path in paths:
+            candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+            for candidate in candidates:
+                resolved = candidate.resolve()
+                if resolved in seen:
+                    continue
+                seen.add(resolved)
+                if honor_excludes and self.config.is_excluded(
+                    self._relpath(root, candidate)
+                ):
+                    continue
+                yield candidate
+
+    @staticmethod
+    def _relpath(root: Path, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    @staticmethod
+    def _meta(relpath: str, line: int, message: str) -> Finding:
+        return Finding(
+            rule_id=META_RULE_ID,
+            severity=Severity.ERROR,
+            path=relpath,
+            line=line,
+            col=1,
+            message=message,
+        )

@@ -1,0 +1,89 @@
+"""Finding and severity models for the static analyzer.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:meth:`Finding.fingerprint` deliberately excludes the line number so
+that baselined findings survive unrelated edits that shift code up or
+down a file.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class Severity(enum.Enum):
+    """How a finding affects the lint exit code.
+
+    ``ERROR`` findings fail the run unless baselined; ``WARNING``
+    findings are reported but never fail it.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """Parse a severity name case-insensitively."""
+        for member in cls:
+            if member.value == text.strip().lower():
+                return member
+        from repro.errors import ConfigError
+
+        raise ConfigError(f"unknown severity {text!r}")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    baselined: bool = field(default=False, compare=False)
+
+    def fingerprint(self) -> str:
+        """Stable identity used for baseline matching (no line/col)."""
+        return f"{self.rule_id}::{self.path}::{self.message}"
+
+    def with_baselined(self) -> "Finding":
+        """A copy of this finding marked as present in the baseline."""
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=self.path,
+            line=self.line,
+            col=self.col,
+            message=self.message,
+            baselined=True,
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable representation (schema-stable key order)."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "baselined": self.baselined,
+        }
+
+    def render(self) -> str:
+        """One-line ``path:line:col`` text rendering."""
+        suffix = " [baselined]" if self.baselined else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.severity.value}: {self.message}{suffix}"
+        )
+
+
+#: Rule id reserved for problems with the analysis run itself
+#: (syntax errors in analyzed files, unknown rule ids in suppression
+#: comments).  Never suppressible and never baselined away silently.
+META_RULE_ID = "REP000"

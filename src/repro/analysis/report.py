@@ -1,0 +1,63 @@
+"""Text and JSON renderers for lint results.
+
+The JSON schema is versioned and key-stable so CI consumers can parse
+it without tracking analyzer internals::
+
+    {
+      "version": 1,
+      "tool": "repro.analysis",
+      "findings": [{"rule", "severity", "path", "line", "col",
+                    "message", "baselined"}, ...],
+      "summary": {"total", "new", "baselined", "errors", "warnings"}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.analysis.findings import Finding, Severity
+
+JSON_SCHEMA_VERSION = 1
+
+
+def summarize(findings: Sequence[Finding]) -> dict:
+    """Aggregate counts used by both output formats and the exit code."""
+    new = [f for f in findings if not f.baselined]
+    return {
+        "total": len(findings),
+        "new": len(new),
+        "baselined": len(findings) - len(new),
+        "errors": sum(1 for f in new if f.severity is Severity.ERROR),
+        "warnings": sum(1 for f in new if f.severity is Severity.WARNING),
+    }
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-oriented ``path:line:col`` listing with a summary line."""
+    ordered = sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule_id)
+    )
+    lines: List[str] = [finding.render() for finding in ordered]
+    counts = summarize(findings)
+    lines.append(
+        f"{counts['new']} new finding(s) "
+        f"({counts['errors']} error(s), {counts['warnings']} warning(s)), "
+        f"{counts['baselined']} baselined"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-oriented stable-schema JSON document."""
+    ordered = sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule_id)
+    )
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "repro.analysis",
+        "findings": [finding.to_json() for finding in ordered],
+        "summary": summarize(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

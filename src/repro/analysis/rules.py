@@ -1,0 +1,100 @@
+"""The rule plugin API and registry.
+
+A rule subclasses :class:`Rule`, declares the AST node types it wants
+to see, and yields :class:`Finding` objects from :meth:`Rule.visit`.
+Registering is one decorator::
+
+    @register
+    class NoWallClock(Rule):
+        rule_id = "REP001"
+        ...
+
+The engine walks each module's tree exactly once and dispatches every
+node to the rules that declared interest in its type, so adding rules
+does not add passes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Tuple, Type
+
+from repro.analysis.findings import Finding, Severity
+from repro.errors import ConfigError
+
+
+class Rule:
+    """Base class for all lint rules."""
+
+    #: Stable identifier, e.g. ``REP001``.  Used in output, ``noqa``
+    #: comments, baselines, and configuration.
+    rule_id: str = ""
+    #: Default severity; configuration may override per rule.
+    severity: Severity = Severity.ERROR
+    #: One-line description shown by ``lint --list-rules``.
+    description: str = ""
+    #: AST node classes this rule wants dispatched to :meth:`visit`.
+    node_types: Tuple[Type[ast.AST], ...] = ()
+
+    def applies_to(self, ctx: "repro.analysis.engine.ModuleContext") -> bool:  # noqa: F821
+        """Whether this rule runs at all for the given module."""
+        return True
+
+    def visit(self, node: ast.AST, ctx) -> Iterable[Finding]:
+        """Yield findings for one dispatched node."""
+        raise NotImplementedError
+
+    def finding(self, ctx, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node`` in ``ctx``'s module."""
+        return Finding(
+            rule_id=self.rule_id,
+            severity=ctx.severity_for(self),
+            path=ctx.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.rule_id:
+        raise ConfigError(f"rule {rule_cls.__name__} has no rule_id")
+    if rule_cls.rule_id in _REGISTRY:
+        raise ConfigError(f"duplicate rule id {rule_cls.rule_id}")
+    _REGISTRY[rule_cls.rule_id] = rule_cls
+    return rule_cls
+
+
+def all_rule_ids() -> List[str]:
+    """Sorted ids of every registered rule."""
+    _ensure_builtin_loaded()
+    return sorted(_REGISTRY)
+
+
+def instantiate(rule_ids: Iterable[str]) -> List[Rule]:
+    """Instances for the given ids, in sorted id order."""
+    _ensure_builtin_loaded()
+    instances = []
+    for rule_id in sorted(set(rule_ids)):
+        try:
+            instances.append(_REGISTRY[rule_id]())
+        except KeyError:
+            raise ConfigError(f"unknown rule id {rule_id!r}") from None
+    return instances
+
+
+def iter_rules() -> Iterator[Type[Rule]]:
+    """All registered rule classes in id order."""
+    _ensure_builtin_loaded()
+    for rule_id in sorted(_REGISTRY):
+        yield _REGISTRY[rule_id]
+
+
+def _ensure_builtin_loaded() -> None:
+    # Deferred so that `rules` and `builtin` may import each other's
+    # neighbours without a cycle at module import time.
+    import repro.analysis.builtin  # noqa: F401  (registers on import)

@@ -16,6 +16,7 @@ from repro.blocklist.categories import PAPER_CATEGORY_SHARES, ThreatCategory
 from repro.blocklist.store import BlocklistEntry, BlocklistStore
 from repro.dns.name import DomainName
 from repro.rand import weighted_choice
+from repro.errors import ConfigError
 
 
 class FeedGenerator:
@@ -35,7 +36,7 @@ class FeedGenerator:
         )
         total = sum(weight for _, weight in shares)
         if total <= 0:
-            raise ValueError("category shares must sum to a positive value")
+            raise ConfigError("category shares must sum to a positive value")
         self._rng = rng
         self._categories = [category for category, _ in shares]
         self._weights = [weight for _, weight in shares]

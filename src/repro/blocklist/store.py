@@ -15,7 +15,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.blocklist.categories import ThreatCategory
 from repro.dns.name import DomainName
-from repro.errors import RateLimitExceeded
+from repro.errors import ConfigError, RateLimitExceeded
 
 
 @dataclass(frozen=True)
@@ -37,7 +37,7 @@ class RateLimit:
 
     def __post_init__(self) -> None:
         if self.capacity <= 0 or self.window_seconds <= 0:
-            raise ValueError("capacity and window must be positive")
+            raise ConfigError("capacity and window must be positive")
 
 
 class BlocklistStore:

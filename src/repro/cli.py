@@ -10,7 +10,9 @@ individual detectors:
   DNS level (the §7 future-work analysis server);
 - ``repro-nxd dga <domain> ...`` — classify names with the detector;
 - ``repro-nxd squat <domain> ...`` — classify names against the
-  popular-target list.
+  popular-target list;
+- ``repro-nxd lint`` — run the determinism & layering linter
+  (:mod:`repro.analysis`) over the source tree.
 """
 
 from __future__ import annotations
@@ -86,6 +88,14 @@ def build_parser() -> argparse.ArgumentParser:
         "squat", help="classify domains against the popular-target list"
     )
     sub_squat.add_argument("names", nargs="+", help="domain names to classify")
+
+    from repro.analysis.main import add_lint_arguments
+
+    sub_lint = sub.add_parser(
+        "lint",
+        help="run the repro.analysis determinism & layering linter",
+    )
+    add_lint_arguments(sub_lint)
     return parser
 
 
@@ -224,6 +234,12 @@ def cmd_dga(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.main import run_lint
+
+    return run_lint(args)
+
+
 def cmd_squat(args: argparse.Namespace) -> int:
     from repro.dns.name import DomainName
     from repro.squatting.detector import SquattingDetector
@@ -301,6 +317,7 @@ _COMMANDS = {
     "sinkhole": cmd_sinkhole,
     "dga": cmd_dga,
     "squat": cmd_squat,
+    "lint": cmd_lint,
 }
 
 

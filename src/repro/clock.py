@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import datetime as _dt
 from dataclasses import dataclass, field
+from repro.errors import ConfigError
 
 SECONDS_PER_DAY = 86_400
 
@@ -71,20 +72,20 @@ class SimClock:
     def advance(self, seconds: int) -> int:
         """Move forward by ``seconds`` and return the new time."""
         if seconds < 0:
-            raise ValueError("SimClock cannot move backwards")
+            raise ConfigError("SimClock cannot move backwards")
         self.now += int(seconds)
         return self.now
 
     def advance_days(self, days: float) -> int:
         """Move forward by ``days`` (fractions allowed)."""
         if days < 0:
-            raise ValueError("SimClock cannot move backwards")
+            raise ConfigError("SimClock cannot move backwards")
         return self.advance(int(days * SECONDS_PER_DAY))
 
     def set_to(self, timestamp: int) -> int:
         """Jump to an absolute time, which must not be in the past."""
         if timestamp < self.now:
-            raise ValueError(
+            raise ConfigError(
                 f"SimClock cannot move backwards ({timestamp} < {self.now})"
             )
         self.now = int(timestamp)

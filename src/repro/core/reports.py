@@ -60,7 +60,8 @@ def render_bars(
 
 def _shape_line(checks: Dict[str, bool]) -> str:
     rendered = ", ".join(
-        f"{name}={'PASS' if ok else 'FAIL'}" for name, ok in checks.items()
+        f"{name}={'PASS' if ok else 'FAIL'}"
+        for name, ok in checks.items()  # repro: noqa[REP007] insertion order is the declared check order
     )
     return f"shape: {rendered}"
 
@@ -70,7 +71,7 @@ def _shape_line(checks: Dict[str, bool]) -> str:
 
 def render_figure3(series: MonthlySeries) -> str:
     yearly = series.yearly_average()
-    body = render_bars([(str(y), v) for y, v in yearly.items()], unit="/mo")
+    body = render_bars([(str(y), v) for y, v in sorted(yearly.items())], unit="/mo")
     return (
         "Figure 3 — average NXDomain responses per month by year\n"
         f"{body}\n{_shape_line(series.shape_checks())}"
@@ -275,7 +276,9 @@ def render_figure10(ports: PortDistribution) -> str:
 
 
 def render_figure13(histogram: Dict[str, int], checks: Dict[str, bool]) -> str:
-    body = render_bars(list(histogram.items()))
+    body = render_bars(
+        sorted(histogram.items(), key=lambda kv: kv[1], reverse=True)
+    )
     return f"Figure 13 — in-app browsers of domain visitors\n{body}\n{_shape_line(checks)}"
 
 

@@ -23,6 +23,7 @@ import numpy as np
 from repro.clock import SECONDS_PER_DAY
 from repro.passivedns.database import PassiveDnsDatabase
 from repro.workloads.trace import TraceResult
+from repro.errors import RangeError
 
 # ---------------------------------------------------------------------------
 # Figure 3
@@ -235,7 +236,7 @@ class ExpiryTimeline:
         """Average queries at ``day_offset`` relative to the pivot."""
         index = self.days_before + day_offset
         if not 0 <= index < len(self.average_series):
-            raise IndexError(f"offset {day_offset} outside timeline")
+            raise RangeError(f"offset {day_offset} outside timeline")
         return float(self.average_series[index])
 
     def shape_checks(self) -> Dict[str, bool]:

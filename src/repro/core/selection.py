@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 from repro.clock import SECONDS_PER_DAY
 from repro.passivedns.database import PassiveDnsDatabase
 from repro.workloads.trace import DomainKind, TraceDomain, TraceResult
+from repro.errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -33,7 +34,7 @@ class SelectionCriteria:
     def scaled(self, factor: float) -> "SelectionCriteria":
         """The same criteria under a volume-scaled trace."""
         if factor <= 0:
-            raise ValueError("factor must be positive")
+            raise ConfigError("factor must be positive")
         return SelectionCriteria(
             min_monthly_queries=self.min_monthly_queries * factor,
             min_nx_days=self.min_nx_days,

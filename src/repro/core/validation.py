@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from repro.core.study import NxdomainStudy, StudyConfig
+from repro.errors import ConfigError
 
 
 @dataclass
@@ -67,7 +68,7 @@ def validate_shapes(
 ) -> ValidationReport:
     """Run the §4 (and optionally §5) shape checks per seed."""
     if not seeds:
-        raise ValueError("need at least one seed")
+        raise ConfigError("need at least one seed")
     outcomes: Dict[str, CheckOutcome] = {}
 
     def record(section: str, checks: Dict[str, bool], seed: int) -> None:

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Sequence, Tuple
 
 from repro.dns.name import DomainName
+from repro.errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -49,7 +50,7 @@ class DgaFamily(abc.ABC):
     def domains_for_day(self, day_index: int, count: int = 0) -> List[DgaSample]:
         """Generate the day's domains (default: ``domains_per_day``)."""
         if day_index < 0:
-            raise ValueError("day_index must be non-negative")
+            raise ConfigError("day_index must be non-negative")
         n = count if count > 0 else self.domains_per_day
         labels = self.generate_labels(day_index, n)
         samples = []
@@ -95,7 +96,7 @@ class Lcg:
     def next_in_range(self, low: int, high: int) -> int:
         """Uniform-ish integer in [low, high]."""
         if high < low:
-            raise ValueError("high must be >= low")
+            raise ConfigError("high must be >= low")
         return low + self.next() % (high - low + 1)
 
     def pick(self, alphabet: Sequence[str]) -> str:

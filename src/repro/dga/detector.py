@@ -24,6 +24,7 @@ from repro.dga.corpus import benign_domains
 from repro.dga.families import ALL_FAMILIES
 from repro.dga.features import FEATURE_NAMES, extract_feature_matrix
 from repro.rand import make_rng
+from repro.errors import ConfigError
 
 DomainLike = Union[DomainName, str]
 
@@ -95,7 +96,7 @@ class DgaDetector:
 
     def __init__(self, model: TrainedModel, threshold: float = 0.5) -> None:
         if not 0.0 < threshold < 1.0:
-            raise ValueError("threshold must lie strictly between 0 and 1")
+            raise ConfigError("threshold must lie strictly between 0 and 1")
         self.model = model
         self.threshold = threshold
 
@@ -114,7 +115,7 @@ class DgaDetector:
     ) -> "DgaDetector":
         """Fit logistic regression by full-batch gradient descent."""
         if not dga_domains or not benign:
-            raise ValueError("both classes need at least one sample")
+            raise ConfigError("both classes need at least one sample")
         features = extract_feature_matrix(list(dga_domains) + list(benign))
         labels = np.concatenate(
             [np.ones(len(dga_domains)), np.zeros(len(benign))]

@@ -24,6 +24,7 @@ from repro.dga.families.qakbot import Qakbot
 from repro.dga.families.ramnit import Ramnit
 from repro.dga.families.simda import Simda
 from repro.dga.families.suppobox import Suppobox
+from repro.errors import UnknownKeyError
 
 ALL_FAMILIES: List[Type[DgaFamily]] = [
     Banjori,
@@ -49,7 +50,7 @@ def family_by_name(name: str) -> Type[DgaFamily]:
     try:
         return _BY_NAME[name.lower()]
     except KeyError:
-        raise KeyError(
+        raise UnknownKeyError(
             f"unknown DGA family {name!r}; known: {sorted(_BY_NAME)}"
         ) from None
 

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.dns.message import RCode, ResourceRecord, RRType
 from repro.dns.name import DomainName
+from repro.errors import ConfigError
 
 
 class CacheOutcome(enum.Enum):
@@ -90,7 +91,7 @@ class ResolverCache:
         max_negative_ttl: int = DEFAULT_MAX_NEGATIVE_TTL,
     ) -> None:
         if max_entries <= 0:
-            raise ValueError("max_entries must be positive")
+            raise ConfigError("max_entries must be positive")
         self.max_entries = max_entries
         self.max_negative_ttl = max_negative_ttl
         self._entries: Dict[Tuple[DomainName, RRType], CacheEntry] = {}
@@ -142,7 +143,7 @@ class ResolverCache:
     ) -> CacheEntry:
         """Cache an answer; entry TTL is the minimum record TTL."""
         if not records:
-            raise ValueError("positive entries need at least one record")
+            raise ConfigError("positive entries need at least one record")
         ttl = min(rr.ttl for rr in records)
         entry = CacheEntry(name, rtype, now, ttl, records=list(records))
         self._insert((name, rtype), entry)

@@ -20,6 +20,7 @@ import numpy as np
 from repro.dns.message import RCode, ResourceRecord, RRType
 from repro.dns.name import DomainName
 from repro.dns.resolver import RecursiveResolver, ResolutionResult
+from repro.errors import ConfigError
 
 #: The in-the-wild hijack rate Chung et al. report.
 WILD_HIJACK_RATE = 0.048
@@ -57,7 +58,7 @@ class HijackingResolver:
         ad_ttl: int = 60,
     ) -> None:
         if not 0.0 <= hijack_rate <= 1.0:
-            raise ValueError("hijack_rate must lie in [0, 1]")
+            raise ConfigError("hijack_rate must lie in [0, 1]")
         self.inner = inner
         self.rng = rng
         self.hijack_rate = hijack_rate

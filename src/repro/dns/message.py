@@ -16,6 +16,7 @@ from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
 from repro.dns.name import DomainName
+from repro.errors import ConfigError
 
 
 class RRType(enum.IntEnum):
@@ -99,9 +100,9 @@ class ResourceRecord:
 
     def __post_init__(self) -> None:
         if self.ttl < 0:
-            raise ValueError("TTL must be non-negative")
+            raise ConfigError("TTL must be non-negative")
         if self.rtype == RRType.SOA and self.soa is None:
-            raise ValueError("SOA records require structured SoaData")
+            raise ConfigError("SOA records require structured SoaData")
 
     def with_ttl(self, ttl: int) -> "ResourceRecord":
         """Copy with a different TTL (used when serving from cache)."""
@@ -138,7 +139,7 @@ class DnsMessage:
     def question(self) -> Question:
         """The first (and in this library, only) question."""
         if not self.questions:
-            raise ValueError("message has no question section")
+            raise ConfigError("message has no question section")
         return self.questions[0]
 
     def is_nxdomain(self) -> bool:
@@ -207,7 +208,7 @@ class DnsMessage:
     ) -> "DnsMessage":
         """Build a response mirroring this query's id and question."""
         if self.is_response:
-            raise ValueError("cannot respond to a response")
+            raise ConfigError("cannot respond to a response")
         return DnsMessage(
             msg_id=self.msg_id,
             is_response=True,

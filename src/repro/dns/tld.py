@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.dns.name import DomainName
+from repro.errors import ConfigError
 
 #: Generic TLDs, ordered roughly by registration volume.
 GENERIC_TLDS: Tuple[str, ...] = (
@@ -100,7 +101,7 @@ class TldRegistry:
         self._by_name: Dict[str, TldInfo] = {}
         for info in infos:
             if info.name in self._by_name:
-                raise ValueError(f"duplicate TLD {info.name!r}")
+                raise ConfigError(f"duplicate TLD {info.name!r}")
             self._by_name[info.name] = info
 
     @classmethod

@@ -12,6 +12,22 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
+class ConfigError(ReproError, ValueError):
+    """An invalid argument or configuration value was passed to an API.
+
+    Derives from :class:`ValueError` so that callers validating inputs
+    the conventional way keep working.
+    """
+
+
+class UnknownKeyError(ReproError, KeyError):
+    """A lookup by name or key did not match anything."""
+
+
+class RangeError(ReproError, IndexError):
+    """An index or offset fell outside the supported range."""
+
+
 class DomainNameError(ReproError, ValueError):
     """A string is not a valid DNS domain name."""
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
+from repro.errors import ConfigError
 
 HTTP_PORT = 80
 HTTPS_PORT = 443
@@ -34,9 +35,9 @@ class PacketRecord:
 
     def __post_init__(self) -> None:
         if not 0 <= self.dst_port <= 65535:
-            raise ValueError(f"invalid port {self.dst_port}")
+            raise ConfigError(f"invalid port {self.dst_port}")
         if self.payload_size < 0:
-            raise ValueError("payload_size must be non-negative")
+            raise ConfigError("payload_size must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -61,9 +62,9 @@ class HttpRequest:
 
     def __post_init__(self) -> None:
         if not self.path.startswith("/"):
-            raise ValueError(f"path must start with '/': {self.path!r}")
+            raise ConfigError(f"path must start with '/': {self.path!r}")
         if self.port not in (HTTP_PORT, HTTPS_PORT):
-            raise ValueError("HTTP requests arrive on port 80 or 443 only")
+            raise ConfigError("HTTP requests arrive on port 80 or 443 only")
 
     # -- derived views ---------------------------------------------------
 

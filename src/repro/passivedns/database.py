@@ -19,6 +19,7 @@ import numpy as np
 from repro.clock import SECONDS_PER_DAY, month_key
 from repro.dns.name import DomainName
 from repro.passivedns.record import DnsObservation
+from repro.errors import ConfigError
 
 
 @dataclass
@@ -75,7 +76,7 @@ class PassiveDnsDatabase:
     def add(self, domain: DomainName, timestamp: int, count: int = 1) -> None:
         """Record ``count`` NXDomain responses for ``domain`` at ``timestamp``."""
         if count < 1:
-            raise ValueError("count must be at least 1")
+            raise ConfigError("count must be at least 1")
         domain_id = self._intern(domain, timestamp)
         self._first_seen[domain_id] = min(self._first_seen[domain_id], timestamp)
         self._last_seen[domain_id] = max(self._last_seen[domain_id], timestamp)

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.dns.name import DomainName
 from repro.passivedns.database import PassiveDnsDatabase
+from repro.errors import ConfigError
 
 FORMAT_VERSION = 1
 
@@ -43,7 +44,7 @@ def load_database(path: PathLike) -> PassiveDnsDatabase:
     with np.load(path, allow_pickle=True) as archive:
         version = int(archive["version"])
         if version != FORMAT_VERSION:
-            raise ValueError(
+            raise ConfigError(
                 f"unsupported passive-DNS archive version {version} "
                 f"(expected {FORMAT_VERSION})"
             )
@@ -64,10 +65,10 @@ def load_database(path: PathLike) -> PassiveDnsDatabase:
 def _validate(db: PassiveDnsDatabase) -> None:
     n = len(db._domains)
     if not (len(db._first_seen) == len(db._last_seen) == len(db._totals) == n):
-        raise ValueError("corrupt archive: aggregate column lengths differ")
+        raise ConfigError("corrupt archive: aggregate column lengths differ")
     if not (
         len(db._row_domain) == len(db._row_time) == len(db._row_count)
     ):
-        raise ValueError("corrupt archive: row column lengths differ")
+        raise ConfigError("corrupt archive: row column lengths differ")
     if db._row_domain and max(db._row_domain) >= n:
-        raise ValueError("corrupt archive: row references unknown domain id")
+        raise ConfigError("corrupt archive: row references unknown domain id")

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.dns.message import RCode, RRType
 from repro.dns.name import DomainName
+from repro.errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -28,9 +29,9 @@ class DnsObservation:
 
     def __post_init__(self) -> None:
         if self.count < 1:
-            raise ValueError("observation count must be at least 1")
+            raise ConfigError("observation count must be at least 1")
         if self.timestamp < 0:
-            raise ValueError("timestamp must be non-negative")
+            raise ConfigError("timestamp must be non-negative")
 
     @property
     def is_nxdomain(self) -> bool:

@@ -14,6 +14,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.dns.name import DomainName
+from repro.errors import ConfigError
 
 
 def sample_domains(
@@ -28,7 +29,7 @@ def sample_domains(
     samples; real runs with millions of domains are unaffected.
     """
     if not 0.0 < ratio <= 1.0:
-        raise ValueError("ratio must lie in (0, 1]")
+        raise ConfigError("ratio must lie in (0, 1]")
     population = len(domains)
     if population == 0:
         return []
@@ -42,5 +43,5 @@ def sample_domains(
 def scale_up(sampled_value: float, ratio: float) -> float:
     """Estimate a population-level count from a sampled count."""
     if not 0.0 < ratio <= 1.0:
-        raise ValueError("ratio must lie in (0, 1]")
+        raise ConfigError("ratio must lie in (0, 1]")
     return sampled_value / ratio

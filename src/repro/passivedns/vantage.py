@@ -28,6 +28,7 @@ from repro.dns.tld import TldRegistry
 from repro.passivedns.channel import SieChannel
 from repro.passivedns.database import PassiveDnsDatabase
 from repro.passivedns.sensor import Sensor, SensorTappedResolver
+from repro.errors import ConfigError
 
 
 @dataclass
@@ -62,7 +63,7 @@ class MultiVantageCollector:
         use_negative_cache: bool = True,
     ) -> None:
         if vantage_points < 1:
-            raise ValueError("need at least one vantage point")
+            raise ConfigError("need at least one vantage point")
         self.hierarchy = (
             hierarchy
             if hierarchy is not None

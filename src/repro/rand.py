@@ -17,6 +17,7 @@ import hashlib
 from typing import Iterable, List, Sequence, TypeVar
 
 import numpy as np
+from repro.errors import ConfigError
 
 T = TypeVar("T")
 
@@ -69,13 +70,13 @@ def weighted_choice(
 ) -> T:
     """Pick one item with the given (unnormalized) weights."""
     if len(items) != len(weights):
-        raise ValueError("items and weights must have equal length")
+        raise ConfigError("items and weights must have equal length")
     if not items:
-        raise ValueError("cannot choose from an empty sequence")
+        raise ConfigError("cannot choose from an empty sequence")
     probs = np.asarray(weights, dtype=float)
     total = probs.sum()
     if total <= 0:
-        raise ValueError("weights must sum to a positive value")
+        raise ConfigError("weights must sum to a positive value")
     index = rng.choice(len(items), p=probs / total)
     return items[int(index)]
 
@@ -86,7 +87,7 @@ def weighted_sample_counts(
     """Split ``total`` events across categories via a multinomial draw."""
     probs = np.asarray(weights, dtype=float)
     if probs.sum() <= 0:
-        raise ValueError("weights must sum to a positive value")
+        raise ConfigError("weights must sum to a positive value")
     counts = rng.multinomial(int(total), probs / probs.sum())
     return [int(c) for c in counts]
 
@@ -99,7 +100,7 @@ def zipf_weights(n: int, exponent: float = 1.0) -> List[float]:
     observes in NXDomain query volume.
     """
     if n <= 0:
-        raise ValueError("n must be positive")
+        raise ConfigError("n must be positive")
     return [1.0 / (rank**exponent) for rank in range(1, n + 1)]
 
 

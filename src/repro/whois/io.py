@@ -13,6 +13,7 @@ from typing import Union
 from repro.dns.name import DomainName
 from repro.whois.history import WhoisHistoryDatabase
 from repro.whois.record import WhoisRecord
+from repro.errors import ConfigError
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -43,7 +44,7 @@ def load_history(path: PathLike) -> WhoisHistoryDatabase:
                 payload = json.loads(line)
                 history.append(_from_json(payload))
             except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
-                raise ValueError(
+                raise ConfigError(
                     f"{path}:{line_number}: bad WHOIS record: {exc}"
                 ) from exc
     return history

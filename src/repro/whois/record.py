@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.dns.name import DomainName
+from repro.errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -36,12 +37,12 @@ class WhoisRecord:
 
     def __post_init__(self) -> None:
         if self.expires_at < self.created_at:
-            raise ValueError(
+            raise ConfigError(
                 f"{self.domain}: expires_at precedes created_at "
                 f"({self.expires_at} < {self.created_at})"
             )
         if self.captured_at < self.created_at:
-            raise ValueError(
+            raise ConfigError(
                 f"{self.domain}: snapshot captured before creation"
             )
 

@@ -20,6 +20,7 @@ import numpy as np
 from repro.honeypot.http import HttpRequest
 from repro.honeypot.reverse_ip import ReverseIpTable
 from repro.workloads.ipspace import make_pool
+from repro.errors import ConfigError
 
 BOTNET_USER_AGENT = "Apache-HttpClient/UNAVAILABLE (java 1.4)"
 TASK_PATH = "/getTask.php"
@@ -144,9 +145,9 @@ class GpclickBotnet:
     def requests(self, count: int, start: int, end: int) -> List[HttpRequest]:
         """``count`` polls spread uniformly over [start, end)."""
         if count < 0:
-            raise ValueError("count must be non-negative")
+            raise ConfigError("count must be non-negative")
         if end <= start:
-            raise ValueError("end must follow start")
+            raise ConfigError("end must follow start")
         timestamps = np.sort(self.rng.integers(start, end, size=count))
         return [self.request_at(int(t)) for t in timestamps]
 

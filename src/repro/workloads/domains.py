@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.honeypot.categorize import Subcategory
+from repro.errors import ConfigError
 
 #: Column order of Table 1.
 TABLE1_FIELDS: Tuple[Subcategory, ...] = (
@@ -88,7 +89,7 @@ class RegisteredDomainProfile:
     def scaled_counts(self, scale: float) -> Dict[Subcategory, int]:
         """Counts multiplied by ``scale``, rounded, floor 1 for nonzero."""
         if scale <= 0:
-            raise ValueError("scale must be positive")
+            raise ConfigError("scale must be positive")
         scaled = {}
         for subcategory, count in self.counts.items():
             value = int(round(count * scale))

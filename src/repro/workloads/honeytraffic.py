@@ -30,6 +30,7 @@ from repro.workloads.domains import (
     registered_domain_profiles,
 )
 from repro.workloads.ipspace import make_pool
+from repro.errors import ConfigError
 
 #: Six months of collection, in seconds (timestamps are study-relative).
 COLLECTION_SECONDS = 180 * 86_400
@@ -78,7 +79,7 @@ class HoneypotTrafficGenerator:
         profiles: Optional[List[RegisteredDomainProfile]] = None,
     ) -> None:
         if scale <= 0:
-            raise ValueError("scale must be positive")
+            raise ConfigError("scale must be positive")
         self.rng = rng
         self.scale = scale
         self.reverse_ip = reverse_ip if reverse_ip is not None else ReverseIpTable()

@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from repro.honeypot.reverse_ip import ReverseIpTable
+from repro.errors import ConfigError, UnknownKeyError
 
 
 class IpPool:
@@ -28,9 +29,9 @@ class IpPool:
     ) -> None:
         parts = prefix.split(".")
         if len(parts) != 2 or not all(p.isdigit() and 0 <= int(p) <= 255 for p in parts):
-            raise ValueError(f"prefix must be two octets like '66.249': {prefix!r}")
+            raise ConfigError(f"prefix must be two octets like '66.249': {prefix!r}")
         if size is not None and size <= 0:
-            raise ValueError("size must be positive when given")
+            raise ConfigError("size must be positive when given")
         self.prefix = prefix
         self._rng = rng
         self._reverse_ip = reverse_ip
@@ -127,7 +128,7 @@ def make_pool(
     try:
         prefix = POOL_PREFIXES[name]
     except KeyError:
-        raise KeyError(f"unknown IP pool {name!r}; known: {sorted(POOL_PREFIXES)}")
+        raise UnknownKeyError(f"unknown IP pool {name!r}; known: {sorted(POOL_PREFIXES)}")
     return IpPool(
         prefix,
         rng,

@@ -30,6 +30,7 @@ from repro.dns.name import DomainName
 from repro.passivedns.io import load_database, save_database
 from repro.squatting.detector import SquattingType
 from repro.whois.io import load_history, save_history
+from repro.errors import ConfigError
 from repro.workloads.trace import (
     DomainKind,
     TraceConfig,
@@ -66,7 +67,7 @@ def load_trace(directory: PathLike) -> TraceResult:
     root = Path(directory)
     manifest = json.loads((root / "manifest.json").read_text())
     if manifest.get("version") != FORMAT_VERSION:
-        raise ValueError(
+        raise ConfigError(
             f"unsupported trace archive version {manifest.get('version')}"
         )
     config = TraceConfig(**manifest["config"])
@@ -79,7 +80,7 @@ def load_trace(directory: PathLike) -> TraceResult:
         blocklist=_load_blocklist(root / "blocklist.jsonl"),
     )
     if len(trace.population) != manifest["domains"]:
-        raise ValueError("corrupt trace archive: population count mismatch")
+        raise ConfigError("corrupt trace archive: population count mismatch")
     return trace
 
 

@@ -1,0 +1,60 @@
+"""Baseline workflow: accepted findings warn, new findings fail, and
+line-number churn does not invalidate the baseline."""
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.findings import Finding, Severity
+
+
+def _finding(rule="REP003", path="src/repro/x.py", line=10, message="m"):
+    return Finding(
+        rule_id=rule,
+        severity=Severity.ERROR,
+        path=path,
+        line=line,
+        col=1,
+        message=message,
+    )
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    path = tmp_path / "baseline.json"
+    baseline_mod.save_baseline(path, [_finding(), _finding(line=99)])
+    counts = baseline_mod.load_baseline(path)
+    assert counts[_finding().fingerprint()] == 2
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert baseline_mod.load_baseline(tmp_path / "absent.json") == {}
+
+
+def test_apply_baseline_splits_new_from_known(tmp_path):
+    path = tmp_path / "baseline.json"
+    known = _finding(message="accepted debt")
+    baseline_mod.save_baseline(path, [known])
+    fresh = _finding(message="regression")
+    new, baselined = baseline_mod.apply_baseline(
+        [known, fresh], baseline_mod.load_baseline(path)
+    )
+    assert [f.message for f in new] == ["regression"]
+    assert [f.message for f in baselined] == ["accepted debt"]
+    assert all(f.baselined for f in baselined)
+
+
+def test_baseline_match_ignores_line_numbers(tmp_path):
+    path = tmp_path / "baseline.json"
+    baseline_mod.save_baseline(path, [_finding(line=10)])
+    moved = _finding(line=400)
+    new, baselined = baseline_mod.apply_baseline(
+        [moved], baseline_mod.load_baseline(path)
+    )
+    assert new == [] and len(baselined) == 1
+
+
+def test_baseline_counts_are_a_budget(tmp_path):
+    path = tmp_path / "baseline.json"
+    baseline_mod.save_baseline(path, [_finding()])
+    duplicated = [_finding(line=10), _finding(line=20)]
+    new, baselined = baseline_mod.apply_baseline(
+        duplicated, baseline_mod.load_baseline(path)
+    )
+    assert len(baselined) == 1 and len(new) == 1

@@ -1,0 +1,102 @@
+"""The ``repro-nxd lint`` subcommand and ``python -m repro.analysis``
+driver: exit codes, JSON output, baseline update, rule selection."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.main import main as analysis_main
+from repro.cli import main as cli_main
+
+REPO_ROOT = str(Path(__file__).resolve().parents[2])
+
+
+def test_lint_exits_zero_on_clean_repo(capsys):
+    assert cli_main(["lint", "--root", REPO_ROOT]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_lint_exits_nonzero_on_violation(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n", encoding="utf-8")
+    code = cli_main(
+        ["lint", "--root", REPO_ROOT, "--no-baseline", str(bad)]
+    )
+    assert code == 1
+    assert "REP002" in capsys.readouterr().out
+
+
+def test_lint_select_restricts_rules(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    # REP006 violation only; a REP001/REP002-restricted run passes it
+    bad.write_text("def f(x=[]):\n    return x\n", encoding="utf-8")
+    code = cli_main(
+        [
+            "lint", "--root", REPO_ROOT, "--no-baseline",
+            "--select", "REP001,REP002", str(bad),
+        ]
+    )
+    capsys.readouterr()
+    assert code == 0
+
+
+def test_lint_json_output_parses(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n", encoding="utf-8")
+    code = cli_main(
+        [
+            "lint", "--root", REPO_ROOT, "--no-baseline",
+            "--format", "json", str(bad),
+        ]
+    )
+    assert code == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == 1
+    assert document["summary"]["errors"] >= 1
+    assert any(e["rule"] == "REP002" for e in document["findings"])
+
+
+def test_update_baseline_then_clean(tmp_path, capsys):
+    root = tmp_path
+    src = root / "pkg"
+    src.mkdir()
+    bad = src / "mod.py"
+    bad.write_text("import random\n", encoding="utf-8")
+    baseline = root / "debt.json"
+    base_args = [
+        "lint", "--root", str(root), "--baseline", "debt.json", "pkg",
+    ]
+    assert cli_main(base_args + ["--update-baseline"]) == 0
+    assert baseline.is_file()
+    capsys.readouterr()
+    # accepted: same violation no longer fails, but is still reported
+    assert cli_main(base_args) == 0
+    out = capsys.readouterr().out
+    assert "[baselined]" in out
+    # a second, new violation fails again
+    (src / "worse.py").write_text(
+        "from time import time\n", encoding="utf-8"
+    )
+    assert cli_main(base_args) == 1
+
+
+def test_list_rules(capsys):
+    assert cli_main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for n in range(1, 9):
+        assert f"REP00{n}" in out
+
+
+def test_module_entry_point_matches_cli(capsys):
+    assert analysis_main(["--root", REPO_ROOT]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_missing_path_is_usage_error(capsys):
+    assert cli_main(["lint", "--root", REPO_ROOT, "no/such/dir"]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_unknown_select_id_is_usage_error(capsys):
+    # a typo'd --select must not silently lint with zero rules
+    assert cli_main(["lint", "--root", REPO_ROOT, "--select", "REP01"]) == 2
+    assert "unknown rule id" in capsys.readouterr().err

@@ -1,0 +1,72 @@
+"""Suppression-comment semantics."""
+
+from repro.analysis import META_RULE_ID
+from tests.analysis.conftest import rule_ids
+
+
+def test_bare_noqa_suppresses_every_rule(run_source):
+    findings = run_source(
+        "import random  # repro: noqa\n"
+    )
+    assert findings == []
+
+
+def test_noqa_only_covers_its_own_line(run_source):
+    findings = run_source(
+        """
+        import random  # repro: noqa[REP002]
+        import random
+        """
+    )
+    assert rule_ids(findings) == ["REP002"]
+
+
+def test_noqa_with_multiple_ids(run_source):
+    findings = run_source(
+        """
+        def f(x=[]):  # repro: noqa[REP006, REP008]
+            return x
+        """
+    )
+    assert findings == []
+
+
+def test_unknown_rule_id_is_itself_reported(run_source):
+    findings = run_source(
+        "import random  # repro: noqa[REP002, REP999]\n"
+    )
+    ids = rule_ids(findings)
+    assert META_RULE_ID in ids
+    meta = [f for f in findings if f.rule_id == META_RULE_ID]
+    assert "REP999" in meta[0].message
+    # the valid id in the same comment still suppresses its rule
+    assert "REP002" not in ids
+
+
+def test_unknown_rule_id_finding_is_an_error(run_source):
+    findings = run_source("x = 1  # repro: noqa[NOPE]\n")
+    meta = [f for f in findings if f.rule_id == META_RULE_ID]
+    assert meta and meta[0].severity.value == "error"
+
+
+def test_noqa_inside_string_literal_is_not_a_suppression(run_source):
+    findings = run_source(
+        """
+        TEXT = "import random  # repro: noqa[REP002]"
+        import random
+        """
+    )
+    assert "REP002" in rule_ids(findings)
+
+
+def test_rule_ids_are_case_insensitive(run_source):
+    findings = run_source(
+        "import random  # repro: noqa[rep002]\n"
+    )
+    assert "REP002" not in rule_ids(findings)
+
+
+def test_syntax_error_reported_as_meta_finding(run_source):
+    findings = run_source("def broken(:\n")
+    assert rule_ids(findings) == [META_RULE_ID]
+    assert "syntax error" in findings[0].message

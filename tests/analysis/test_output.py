@@ -1,0 +1,72 @@
+"""Output formats: the JSON schema is stable, the text format is
+line-per-finding with a trailing summary."""
+
+import json
+
+from repro.analysis import report as report_mod
+
+
+def _sample_findings(run_source):
+    return run_source(
+        """
+        import random
+
+        def f(x=[]):
+            return x
+        """
+    )
+
+
+def test_json_schema_top_level_keys(run_source):
+    document = json.loads(report_mod.render_json(_sample_findings(run_source)))
+    assert list(document) == ["version", "tool", "findings", "summary"]
+    assert document["version"] == report_mod.JSON_SCHEMA_VERSION
+    assert document["tool"] == "repro.analysis"
+    assert list(document["summary"]) == [
+        "total", "new", "baselined", "errors", "warnings",
+    ]
+
+
+def test_json_finding_keys_and_types(run_source):
+    document = json.loads(report_mod.render_json(_sample_findings(run_source)))
+    assert document["findings"], "sample should produce findings"
+    for entry in document["findings"]:
+        assert list(entry) == [
+            "rule", "severity", "path", "line", "col", "message", "baselined",
+        ]
+        assert isinstance(entry["line"], int)
+        assert isinstance(entry["col"], int)
+        assert entry["severity"] in ("error", "warning")
+        assert isinstance(entry["baselined"], bool)
+
+
+def test_json_findings_sorted_by_location(run_source):
+    document = json.loads(report_mod.render_json(_sample_findings(run_source)))
+    keys = [
+        (e["path"], e["line"], e["col"], e["rule"])
+        for e in document["findings"]
+    ]
+    assert keys == sorted(keys)
+
+
+def test_json_output_is_deterministic(run_source):
+    first = report_mod.render_json(_sample_findings(run_source))
+    second = report_mod.render_json(_sample_findings(run_source))
+    assert first == second
+
+
+def test_text_format_has_location_prefix_and_summary(run_source):
+    text = report_mod.render_text(_sample_findings(run_source))
+    lines = text.splitlines()
+    assert any(line.startswith("src/repro/demo.py:") for line in lines)
+    assert lines[-1].endswith("baselined")
+    assert "error(s)" in lines[-1]
+
+
+def test_summary_counts_split_new_and_baselined(run_source):
+    findings = _sample_findings(run_source)
+    marked = [f.with_baselined() for f in findings[:1]] + list(findings[1:])
+    summary = report_mod.summarize(marked)
+    assert summary["total"] == len(findings)
+    assert summary["baselined"] == 1
+    assert summary["new"] == len(findings) - 1
