@@ -9,7 +9,7 @@ check to pass on every seed.  (The full §4+§5 sweep is available as
 
 from repro.core.reports import render_table
 from repro.core.study import StudyConfig
-from repro.core.validation import validate_shapes
+from repro.core.validation import fault_sweep, validate_shapes
 
 SEEDS = [11, 12, 13]
 CONFIG = StudyConfig(
@@ -35,3 +35,33 @@ def test_shape_robustness_across_seeds(benchmark):
     print(f"Shape robustness across seeds {SEEDS} at {CONFIG.trace_domains:,} domains")
     print(render_table(["check", "pass rate", "failing seeds"], rows))
     assert report.robust(threshold=1.0), report.worst()
+
+
+def test_shape_robustness_under_collection_faults(benchmark):
+    """§4 shapes must survive realistically lossy collection.
+
+    Each seed's trace is degraded through the fault pipeline at 5%
+    composite loss (drops, duplicates, transient store failures); the
+    gate is that no shape check fails at 5% loss that did not already
+    fail on the clean trace.
+    """
+    report = benchmark.pedantic(
+        fault_sweep,
+        args=(SEEDS, CONFIG),
+        kwargs={"rates": (0.0, 0.05)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"Degradation curve across seeds {SEEDS} at {CONFIG.trace_domains:,} domains")
+    print(
+        render_table(
+            ["fault rate", "delivered", "check pass rate",
+             "store fail/replayed", "dups suppressed"],
+            report.rows(),
+        )
+    )
+    assert report.regressions(0.05) == [], report.regressions(0.05)
+    degraded = report.points[-1]
+    assert 0.90 <= degraded.delivered_fraction <= 0.99
+    assert degraded.store_failures == degraded.replay_recovered

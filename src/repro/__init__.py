@@ -17,7 +17,13 @@ measurement study depends on:
   dot-, bit-, and homo-squatting.
 - ``repro.blocklist`` — a categorized, rate-limited domain blocklist.
 - ``repro.passivedns`` — a passive DNS collection pipeline (sensors,
-  SIE channel, columnar store) standing in for Farsight DNSDB.
+  SIE channel, columnar store, resilient ingestion with checkpointing)
+  standing in for Farsight DNSDB.
+- ``repro.faults`` — a deterministic fault-injection harness (drops,
+  corruption, duplicates, reorder, crashes, store failures, bursts)
+  whose schedules are bit-reproducible from a seed.
+- ``repro.resilience`` — retry with deterministic backoff, a circuit
+  breaker, and a bounded dead-letter queue with replay.
 - ``repro.honeypot`` — the NXD-Honeypot: traffic recorder, two-stage
   noise filter, and the HTTP traffic categorizer of Figure 11.
 - ``repro.workloads`` — calibrated synthetic traffic: the 8-year
@@ -38,7 +44,7 @@ Quickstart::
 
 from repro.version import __version__
 
-__all__ = ["NxdomainStudy", "StudyConfig", "__version__"]
+__all__ = ["FaultPlan", "NxdomainStudy", "StudyConfig", "__version__"]
 
 
 def __getattr__(name):
@@ -48,6 +54,10 @@ def __getattr__(name):
         from repro.core import study
 
         return getattr(study, name)
+    if name == "FaultPlan":
+        from repro.faults.plan import FaultPlan
+
+        return FaultPlan
     # the __getattr__ protocol requires AttributeError here
     raise AttributeError(  # repro: noqa[REP003]
         f"module {__name__!r} has no attribute {name!r}"

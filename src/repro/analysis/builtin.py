@@ -258,7 +258,13 @@ class ImportLayering(Rule):
         "dns", "whois", "passivedns", "honeypot", "blocklist",
         "dga", "squatting",
     )
-    _FOUNDATION = ("errors", "clock", "rand", "version", "analysis")
+    _FOUNDATION = (
+        "errors", "clock", "rand", "version", "analysis",
+        # The fault harness and resilience primitives are deliberately
+        # content-agnostic (they never import a substrate), so any
+        # layer may depend on them.
+        "faults", "resilience",
+    )
 
     def visit(self, node: ast.AST, ctx) -> Iterable[Finding]:
         source_layer = self._layer(ctx.module)

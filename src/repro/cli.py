@@ -11,6 +11,8 @@ individual detectors:
 - ``repro-nxd dga <domain> ...`` — classify names with the detector;
 - ``repro-nxd squat <domain> ...`` — classify names against the
   popular-target list;
+- ``repro-nxd faults`` — sweep fault-injection rates and report how
+  far the §4 shape checks degrade;
 - ``repro-nxd lint`` — run the determinism & layering linter
   (:mod:`repro.analysis`) over the source tree.
 """
@@ -63,6 +65,27 @@ def build_parser() -> argparse.ArgumentParser:
     sub_validate.add_argument("--domains", type=int, default=6_000)
     sub_validate.add_argument(
         "--skip-origin", action="store_true", help="only run the §4 checks"
+    )
+
+    sub_faults = sub.add_parser(
+        "faults",
+        help="fault-injection sweep: §4 shape checks under degraded collection",
+    )
+    sub_faults.add_argument("--seeds", type=int, default=3, help="seed count")
+    sub_faults.add_argument("--domains", type=int, default=4_000)
+    sub_faults.add_argument(
+        "--rates",
+        default="0,0.01,0.05,0.1",
+        help="comma-separated fault rates to sweep",
+    )
+    sub_faults.add_argument(
+        "--gate",
+        type=float,
+        default=0.05,
+        help="highest fault rate that must keep every shape check passing",
+    )
+    sub_faults.add_argument(
+        "--include-origin", action="store_true", help="also run the §5 checks"
     )
 
     sub_trace = sub.add_parser(
@@ -278,6 +301,61 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.robust() else 1
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro.core.validation import fault_sweep
+
+    rates = [float(token) for token in args.rates.split(",") if token.strip()]
+    config = StudyConfig(
+        trace_domains=args.domains, squat_count=max(args.domains // 25, 50)
+    )
+    report = fault_sweep(
+        list(range(args.seeds)),
+        config,
+        rates=rates,
+        include_origin=args.include_origin,
+    )
+    print(
+        f"shape-check degradation over {len(report.seeds)} seeds at "
+        f"{args.domains:,} domains:"
+    )
+    print(
+        reports.render_table(
+            [
+                "fault rate",
+                "delivered",
+                "check pass rate",
+                "store fail/replayed",
+                "dups suppressed",
+            ],
+            report.rows(),
+        )
+    )
+    for point in report.points:
+        failing = [
+            (name, rate, seeds)
+            for name, rate, seeds in point.report.worst()
+            if rate < 1.0
+        ]
+        for name, rate, seeds in failing:
+            print(
+                f"  {point.rate:.1%}: {name} passed {rate:.0%} "
+                f"(failing seeds: {','.join(map(str, seeds))})"
+            )
+    regressions = report.regressions(args.gate)
+    for rate, name, seeds in regressions:
+        print(
+            f"  REGRESSION at {rate:.1%}: {name} newly fails "
+            f"(seeds: {','.join(map(str, seeds))})"
+        )
+    passed = not regressions
+    print(
+        f"\nfault rates up to {args.gate:.1%} "
+        f"{'add no shape-check failures' if passed else 'BREAK shape checks'} "
+        f"beyond the clean baseline"
+    )
+    return 0 if passed else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.core.scale import monthly_response_series, tld_distribution
     from repro.workloads.persistence import load_trace, save_trace
@@ -309,6 +387,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "report": cmd_report,
     "validate": cmd_validate,
+    "faults": cmd_faults,
     "trace": cmd_trace,
     "scale": cmd_scale,
     "origin": cmd_origin,

@@ -23,6 +23,8 @@ from repro.core import scale as scale_mod
 from repro.core import security as security_mod
 from repro.core import selection as selection_mod
 from repro.dga.detector import DgaDetector
+from repro.faults.plan import FaultPlan
+from repro.passivedns.pipeline import PipelineStats
 from repro.rand import SeedSequenceFactory
 from repro.squatting.detector import SquattingDetector
 from repro.workloads.trace import NxdomainTraceGenerator, TraceConfig, TraceResult
@@ -43,6 +45,12 @@ class StudyConfig:
     #: high precision; 0.9 lands the flagged share near the paper's 3%
     #: (see the threshold-sweep ablation bench).
     dga_threshold: float = 0.9
+    #: When set, the generated trace is replayed through a faulted
+    #: resilient ingestion pipeline before any analysis — the §4
+    #: analyses then measure what a degraded collection would show.
+    #: ``None`` (the default) leaves the pipeline untouched and the
+    #: study byte-identical to a pre-fault-harness run.
+    fault_plan: Optional[FaultPlan] = None
 
     def trace_config(self) -> TraceConfig:
         return TraceConfig(
@@ -95,13 +103,25 @@ class OriginAnalysis:
 class NxdomainStudy:
     """One seeded, reproducible run of the full measurement study."""
 
-    def __init__(self, seed: int = 0, config: Optional[StudyConfig] = None) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        config: Optional[StudyConfig] = None,
+        trace: Optional[TraceResult] = None,
+    ) -> None:
         self.seed = seed
         self.config = config if config is not None else StudyConfig()
         self._seeds = SeedSequenceFactory(seed)
+        #: A pre-built trace to analyze instead of generating one —
+        #: how the fault sweep reuses one generated trace across many
+        #: degradation levels without paying generation per level.
+        self._base_trace = trace
         self._trace: Optional[TraceResult] = None
         self._detector: Optional[DgaDetector] = None
         self._security: Optional[security_mod.SecurityRunResult] = None
+        #: Ingestion counters from the fault replay (None until the
+        #: trace is built, and still None when no fault plan is set).
+        self.fault_stats: Optional[PipelineStats] = None
 
     # -- shared artifacts (built lazily, cached) ---------------------------
 
@@ -109,11 +129,20 @@ class NxdomainStudy:
     def trace(self) -> TraceResult:
         """The 8-year passive DNS trace (generated once per study)."""
         if self._trace is None:
-            generator = NxdomainTraceGenerator(
-                seed=self._seeds.child_seed("trace"),
-                config=self.config.trace_config(),
-            )
-            self._trace = generator.generate()
+            if self._base_trace is not None:
+                base = self._base_trace
+            else:
+                generator = NxdomainTraceGenerator(
+                    seed=self._seeds.child_seed("trace"),
+                    config=self.config.trace_config(),
+                )
+                base = generator.generate()
+            if self.config.fault_plan is not None:
+                base, self.fault_stats = base.degraded(
+                    self.config.fault_plan,
+                    seed=self._seeds.child_seed("fault-injection"),
+                )
+            self._trace = base
         return self._trace
 
     @property

@@ -11,10 +11,13 @@ it ships with; the CLI exposes it as ``repro-nxd validate``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.study import NxdomainStudy, StudyConfig
 from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan
+from repro.passivedns.pipeline import PipelineStats
+from repro.rand import derive_seed
 
 
 @dataclass
@@ -90,3 +93,161 @@ def validate_shapes(
             for section, checks in origin.shape_checks().items():
                 record(section, checks, seed)
     return ValidationReport(seeds=list(seeds), outcomes=outcomes)
+
+
+# ---------------------------------------------------------------------------
+# fault sweep: shape-check survival under degraded collection
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepPoint:
+    """Shape-check survival at one fault rate, aggregated over seeds."""
+
+    rate: float
+    report: ValidationReport
+    #: Mean surviving fraction of NXDomain responses vs the clean trace.
+    delivered_fraction: float
+    dropped: int = 0
+    duplicates_suppressed: int = 0
+    store_failures: int = 0
+    replay_recovered: int = 0
+
+    @property
+    def pass_rate(self) -> float:
+        """Overall shape-check pass rate at this fault level."""
+        return self.report.overall_pass_rate()
+
+
+@dataclass
+class FaultSweepReport:
+    """The degradation curve: shape-check pass rate vs fault rate."""
+
+    seeds: List[int]
+    points: List[SweepPoint]
+
+    def robust_up_to(self, rate: float, threshold: float = 1.0) -> bool:
+        """True when every check holds at every point with rate ≤ ``rate``."""
+        return all(
+            point.report.robust(threshold)
+            for point in self.points
+            if point.rate <= rate
+        )
+
+    def baseline(self) -> SweepPoint:
+        """The lowest-rate point (the clean-collection reference)."""
+        return min(self.points, key=lambda point: point.rate)
+
+    def regressions(self, gate: float) -> List[Tuple[float, str, List[int]]]:
+        """(rate, check, seeds) that fail under faults but not cleanly.
+
+        A small population can fail a shape check at 0% faults from
+        sampling noise alone; what the fault harness must guarantee is
+        that injecting faults up to ``gate`` does not *add* failures.
+        """
+        base = self.baseline()
+        base_failures = {
+            name: set(outcome.failing_seeds)
+            for name, outcome in base.report.outcomes.items()
+        }
+        found: List[Tuple[float, str, List[int]]] = []
+        for point in self.points:
+            if point is base or point.rate > gate:
+                continue
+            for name, outcome in point.report.outcomes.items():
+                fresh = set(outcome.failing_seeds) - base_failures.get(
+                    name, set()
+                )
+                if fresh:
+                    found.append((point.rate, name, sorted(fresh)))
+        return found
+
+    def rows(self) -> List[Tuple[str, str, str, str, str]]:
+        """Render-ready degradation-curve rows (one per fault rate)."""
+        rows = []
+        for point in self.points:
+            rows.append(
+                (
+                    f"{point.rate:.1%}",
+                    f"{point.delivered_fraction:.4f}",
+                    f"{point.pass_rate:.3f}",
+                    f"{point.store_failures}/{point.replay_recovered}",
+                    f"{point.duplicates_suppressed}",
+                )
+            )
+        return rows
+
+
+def fault_sweep(
+    seeds: Sequence[int],
+    config: StudyConfig,
+    rates: Sequence[float] = (0.0, 0.01, 0.05, 0.10),
+    include_origin: bool = False,
+) -> FaultSweepReport:
+    """Re-run the shape checks against fault-degraded collections.
+
+    Each seed's trace is generated once (clean) and replayed through a
+    :meth:`~repro.faults.plan.FaultPlan.loss` pipeline per rate, so the
+    sweep isolates the effect of collection faults from trace sampling
+    noise.  The fault schedule's seed is derived from the study seed,
+    keeping the whole sweep bit-reproducible.
+    """
+    if not seeds:
+        raise ConfigError("need at least one seed")
+    if any(not 0 <= rate < 1 for rate in rates):
+        raise ConfigError("fault rates must lie in [0, 1)")
+    clean = {
+        seed: NxdomainStudy(seed=seed, config=config).trace for seed in seeds
+    }
+    points: List[SweepPoint] = []
+    for rate in rates:
+        outcomes: Dict[str, CheckOutcome] = {}
+        fractions: List[float] = []
+        totals = PipelineStats()
+        duplicates = 0
+        for seed in seeds:
+            base = clean[seed]
+            if rate > 0:
+                degraded, stats = base.degraded(
+                    FaultPlan.loss(rate),
+                    seed=derive_seed(seed, "fault-sweep"),
+                )
+                totals.dropped += stats.dropped
+                totals.store_failures += stats.store_failures
+                totals.replay_recovered += stats.replay_recovered
+                duplicates += degraded.nx_db.duplicates_suppressed
+            else:
+                degraded = base
+            base_total = base.nx_db.total_responses()
+            fractions.append(
+                degraded.nx_db.total_responses() / base_total
+                if base_total
+                else 0.0
+            )
+            study = NxdomainStudy(seed=seed, config=config, trace=degraded)
+            scale = study.run_scale_analysis()
+            sections = dict(scale.shape_checks())
+            if include_origin:
+                sections.update(study.run_origin_analysis().shape_checks())
+            for section, checks in sections.items():
+                for name, passed in checks.items():
+                    outcome = outcomes.setdefault(
+                        f"{section}.{name}", CheckOutcome()
+                    )
+                    if passed:
+                        outcome.passes += 1
+                    else:
+                        outcome.failures += 1
+                        outcome.failing_seeds.append(seed)
+        points.append(
+            SweepPoint(
+                rate=rate,
+                report=ValidationReport(seeds=list(seeds), outcomes=outcomes),
+                delivered_fraction=sum(fractions) / len(fractions),
+                dropped=totals.dropped,
+                duplicates_suppressed=duplicates,
+                store_failures=totals.store_failures,
+                replay_recovered=totals.replay_recovered,
+            )
+        )
+    return FaultSweepReport(seeds=list(seeds), points=points)

@@ -44,6 +44,31 @@ class ResolutionError(ReproError):
     """The iterative resolver could not complete a lookup."""
 
 
+class TransientError(ReproError):
+    """A failure that may succeed if the operation is retried.
+
+    The resilience primitives (:class:`repro.resilience.RetryPolicy`,
+    dead-letter replay) treat this branch of the hierarchy as
+    retriable; everything else is permanent and propagates.
+    """
+
+
+class TransientStoreError(TransientError):
+    """A store write failed transiently (the BigQuery load-job analogue)."""
+
+
+class TransientResolutionError(TransientError, ResolutionError):
+    """An upstream resolution failed transiently (timeout, SERVFAIL)."""
+
+
+class InjectedFaultError(TransientError):
+    """A failure deliberately raised by the fault-injection harness."""
+
+
+class CircuitOpenError(ReproError):
+    """A circuit breaker is open and refused the call."""
+
+
 class LifecycleError(ReproError):
     """An illegal domain lifecycle transition was attempted."""
 

@@ -1,0 +1,52 @@
+"""Deterministic fault injection.
+
+The paper's measurement substrate ran for eight years in the wild,
+where sensor dropout, malformed packets, duplicate delivery, and
+collector outages are routine.  This package reproduces those failure
+modes *deterministically*: a :class:`FaultPlan` describes which faults
+occur at which rates, and :class:`FaultSchedule` materializes the plan
+against a seed so that the same (plan, seed) pair produces a
+bit-identical injection schedule — every decision flows through
+:mod:`repro.rand` streams and simulated time, never wall-clock state.
+
+The injectors are composable and content-agnostic (they operate on
+opaque items, timestamps, and byte strings), so the same harness
+drives the passive DNS pipeline, the honeypot recorder, and the
+resolver.  The resilience primitives that absorb these faults live in
+:mod:`repro.resilience`; the wired-up pipeline lives in
+:mod:`repro.passivedns.pipeline`.
+"""
+
+from repro.faults.injectors import (
+    BurstInjector,
+    CorruptionInjector,
+    CrashInjector,
+    DropInjector,
+    DuplicateInjector,
+    Injector,
+    ReorderInjector,
+    StoreFaultInjector,
+)
+from repro.faults.plan import (
+    DropoutWindow,
+    FaultPlan,
+    FaultSchedule,
+    InjectionEvent,
+    InjectionLog,
+)
+
+__all__ = [
+    "BurstInjector",
+    "CorruptionInjector",
+    "CrashInjector",
+    "DropInjector",
+    "DropoutWindow",
+    "DuplicateInjector",
+    "FaultPlan",
+    "FaultSchedule",
+    "InjectionEvent",
+    "InjectionLog",
+    "Injector",
+    "ReorderInjector",
+    "StoreFaultInjector",
+]

@@ -1,0 +1,300 @@
+"""Composable fault injectors and the injection log.
+
+Each injector models one real-world failure mode of a long-running
+collection pipeline and makes its decisions from a private, seeded
+:class:`numpy.random.Generator` (handed out by
+:class:`~repro.faults.plan.FaultSchedule`, one decorrelated stream per
+injector).  Decisions are recorded in a shared :class:`InjectionLog`,
+whose fingerprint is the bit-reproducibility contract: the same
+(plan, seed, event stream) triple always yields the same log.
+
+Every injector counts the uniform draws it consumes (``draws``) so a
+resumed pipeline can fast-forward a fresh schedule to the exact RNG
+state of an interrupted run (see ``FaultSchedule.fast_forward``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.errors import ConfigError, InjectedFaultError, TransientStoreError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class InjectionEvent:
+    """One fault the harness injected."""
+
+    injector: str
+    index: int
+    action: str
+    detail: str = ""
+
+    def render(self) -> str:
+        """Stable one-line form (the unit the log fingerprint hashes)."""
+        return f"{self.injector}[{self.index}] {self.action} {self.detail}".rstrip()
+
+
+class InjectionLog:
+    """Ordered record of every injected fault in a schedule's lifetime."""
+
+    def __init__(self) -> None:
+        self._events: List[InjectionEvent] = []
+
+    def append(self, event: InjectionEvent) -> None:
+        """Record one injected fault."""
+        self._events.append(event)
+
+    def events(self) -> List[InjectionEvent]:
+        """A copy of the recorded events, in injection order."""
+        return list(self._events)
+
+    def lines(self) -> List[str]:
+        """The rendered log, one line per injected fault."""
+        return [event.render() for event in self._events]
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the rendered log — the bit-identity check."""
+        digest = hashlib.sha256()
+        for line in self.lines():
+            digest.update(line.encode("utf-8"))
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class Injector:
+    """Base class: a named decision stream over a private generator."""
+
+    name = "injector"
+
+    def __init__(self, rng: np.random.Generator, log: InjectionLog) -> None:
+        self._rng = rng
+        self._log = log
+        #: Uniform draws consumed (the fast-forward unit).
+        self.draws = 0
+        #: Decisions taken (the log-index unit).
+        self.decisions = 0
+        #: Faults actually injected.
+        self.injected = 0
+
+    def _uniform(self) -> float:
+        self.draws += 1
+        return float(self._rng.random())
+
+    def _record(self, action: str, detail: str = "") -> None:
+        self.injected += 1
+        self._log.append(
+            InjectionEvent(self.name, self.decisions, action, detail)
+        )
+
+    def fast_forward(self, draws: int) -> None:
+        """Discard ``draws`` uniforms to re-align with a prior run."""
+        if draws < 0:
+            raise ConfigError("cannot fast-forward a negative draw count")
+        for _ in range(draws):
+            self._uniform()
+
+
+class DropInjector(Injector):
+    """Sensor dropout: scheduled dark windows plus random packet loss."""
+
+    name = "drop"
+
+    def __init__(
+        self,
+        rate: float,
+        windows: Sequence[Tuple[int, int]],
+        rng: np.random.Generator,
+        log: InjectionLog,
+    ) -> None:
+        super().__init__(rng, log)
+        self.rate = rate
+        self.windows = tuple(windows)
+        self.window_drops = 0
+        self.random_drops = 0
+
+    def should_drop(self, timestamp: int) -> bool:
+        """Decide whether the observation at ``timestamp`` is lost."""
+        self.decisions += 1
+        draw = self._uniform()
+        for start, end in self.windows:
+            if start <= timestamp < end:
+                self.window_drops += 1
+                self._record("window-drop", f"t={timestamp}")
+                return True
+        if draw < self.rate:
+            self.random_drops += 1
+            self._record("drop", f"t={timestamp}")
+            return True
+        return False
+
+
+class CorruptionInjector(Injector):
+    """Wire-byte corruption: a truncated or bit-flipped UDP datagram."""
+
+    name = "corrupt"
+
+    def __init__(self, rate: float, rng: np.random.Generator, log: InjectionLog) -> None:
+        super().__init__(rng, log)
+        self.rate = rate
+
+    def corrupt(self, data: bytes) -> bytes:
+        """Return ``data``, possibly with one byte flipped."""
+        self.decisions += 1
+        draw = self._uniform()
+        if draw >= self.rate or not data:
+            return data
+        position = int(self._uniform() * len(data)) % len(data)
+        flip = 1 + int(self._uniform() * 255) % 255
+        self._record("flip", f"byte={position} xor={flip}")
+        mutated = bytearray(data)
+        mutated[position] ^= flip
+        return bytes(mutated)
+
+
+class DuplicateInjector(Injector):
+    """At-least-once delivery: the channel hands an item over twice."""
+
+    name = "duplicate"
+
+    def __init__(self, rate: float, rng: np.random.Generator, log: InjectionLog) -> None:
+        super().__init__(rng, log)
+        self.rate = rate
+
+    def copies(self, timestamp: int) -> int:
+        """How many times the current item is delivered (1 or 2)."""
+        self.decisions += 1
+        if self._uniform() < self.rate:
+            self._record("duplicate", f"t={timestamp}")
+            return 2
+        return 1
+
+
+class ReorderInjector(Injector):
+    """Out-of-order delivery via a bounded hold-back buffer."""
+
+    name = "reorder"
+
+    def __init__(
+        self,
+        rate: float,
+        depth: int,
+        rng: np.random.Generator,
+        log: InjectionLog,
+    ) -> None:
+        super().__init__(rng, log)
+        if depth < 1:
+            raise ConfigError("reorder depth must be at least 1")
+        self.rate = rate
+        self.depth = depth
+        self._held: List[T] = []
+
+    def push(self, item: T) -> List[T]:
+        """Offer one item; returns the items released (possibly [])."""
+        self.decisions += 1
+        draw = self._uniform()
+        if draw < self.rate and len(self._held) < self.depth:
+            self._held.append(item)
+            self._record("hold", f"depth={len(self._held)}")
+            return []
+        if self._held:
+            released = [item] + self._held
+            self._held = []
+            return released
+        return [item]
+
+    def flush(self) -> List[T]:
+        """Release everything still held (end of stream / checkpoint)."""
+        released, self._held = self._held, []
+        return released
+
+    @property
+    def held(self) -> int:
+        return len(self._held)
+
+
+class CrashInjector(Injector):
+    """Subscriber crashes: a downstream consumer raising mid-fanout."""
+
+    name = "crash"
+
+    def __init__(self, rate: float, rng: np.random.Generator, log: InjectionLog) -> None:
+        super().__init__(rng, log)
+        self.rate = rate
+
+    def maybe_crash(self, context: str = "") -> None:
+        """Raise :class:`InjectedFaultError` with the configured rate."""
+        self.decisions += 1
+        if self._uniform() < self.rate:
+            self._record("crash", context)
+            raise InjectedFaultError(
+                f"injected subscriber crash ({context or self.name})"
+            )
+
+    def wrap(self, handler: Callable[[T], None], context: str = "") -> Callable[[T], None]:
+        """A handler that crashes per schedule before delegating."""
+
+        def faulty(item: T) -> None:
+            self.maybe_crash(context)
+            handler(item)
+
+        return faulty
+
+
+class StoreFaultInjector(Injector):
+    """Transient store-write failures (the load-job that times out)."""
+
+    name = "store"
+
+    def __init__(self, rate: float, rng: np.random.Generator, log: InjectionLog) -> None:
+        super().__init__(rng, log)
+        self.rate = rate
+
+    def check(self, context: str = "") -> None:
+        """Raise :class:`TransientStoreError` with the configured rate."""
+        self.decisions += 1
+        if self._uniform() < self.rate:
+            self._record("store-failure", context)
+            raise TransientStoreError(
+                f"injected transient store failure ({context or self.name})"
+            )
+
+
+class BurstInjector(Injector):
+    """Flood episodes: short windows where volume is amplified.
+
+    Purely window-driven (no per-event draws), modelling an
+    NXNSAttack-style query flood hitting the sensed resolvers.
+    """
+
+    name = "burst"
+
+    def __init__(
+        self,
+        windows: Sequence[Tuple[int, int]],
+        multiplier: int,
+        rng: np.random.Generator,
+        log: InjectionLog,
+    ) -> None:
+        super().__init__(rng, log)
+        if multiplier < 1:
+            raise ConfigError("burst multiplier must be at least 1")
+        self.windows = tuple(windows)
+        self.multiplier = multiplier
+
+    def factor(self, timestamp: int) -> int:
+        """Volume multiplier in effect at ``timestamp`` (1 = none)."""
+        self.decisions += 1
+        for start, end in self.windows:
+            if start <= timestamp < end:
+                self._record("burst", f"t={timestamp} x{self.multiplier}")
+                return self.multiplier
+        return 1

@@ -9,7 +9,7 @@ and control-group deployments.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.honeypot.http import HttpRequest, PacketRecord
 
@@ -21,14 +21,23 @@ class TrafficRecorder:
         self.deployment = deployment
         self._packets: List[PacketRecord] = []
         self._requests: List[HttpRequest] = []
+        #: Called with a context string before each write; a fault
+        #: harness can raise :class:`~repro.errors.TransientStoreError`
+        #: here to model a full disk or a wedged capture process.
+        self.fault_hook: Optional[Callable[[str], None]] = None
 
     # -- capture --------------------------------------------------------
 
     def record_packet(self, packet: PacketRecord) -> None:
+        """Record one transport-level packet."""
+        if self.fault_hook is not None:
+            self.fault_hook("packet")
         self._packets.append(packet)
 
     def record_request(self, request: HttpRequest) -> None:
         """Record an HTTP request (and its transport-level shadow)."""
+        if self.fault_hook is not None:
+            self.fault_hook("request")
         self._requests.append(request)
         self._packets.append(request.to_packet())
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.errors import ReproError
+from repro.resilience.dlq import DeadLetterQueue, ReplayStats
 from repro.honeypot.categorize import (
     CategorizedRequest,
     TrafficCategorizer,
@@ -50,6 +52,7 @@ class NxdHoneypot:
         self,
         hosted_domains: Iterable[str],
         categorizer: Optional[TrafficCategorizer] = None,
+        dead_letters: Optional[DeadLetterQueue] = None,
     ) -> None:
         self.hosted_domains = {d.lower() for d in hosted_domains}
         self.recorder = TrafficRecorder("honeypot")
@@ -58,22 +61,58 @@ class NxdHoneypot:
         )
         self.noise_filter: Optional[TwoStageFilter] = None
         self.pages_served = 0
+        #: Traffic the recorder failed to persist, quarantined for
+        #: :meth:`replay_dead_letters`.  Without a queue a recorder
+        #: failure is still survived, merely counted.
+        self.dead_letters = dead_letters
+        self.recorder_errors = 0
 
     # -- capture path ------------------------------------------------------
 
     def accept_packet(self, packet: PacketRecord) -> None:
-        """Non-HTTP traffic: recorded, never answered."""
-        self.recorder.record_packet(packet)
+        """Non-HTTP traffic: recorded (best-effort), never answered."""
+        try:
+            self.recorder.record_packet(packet)
+        except ReproError as exc:
+            self._quarantine(packet, exc, packet.timestamp)
 
     def accept_request(self, request: HttpRequest) -> str:
         """HTTP/HTTPS traffic: recorded and served the landing page.
 
         The honeypot never initiates interaction (the ethics appendix);
-        serving a static page to whoever asks is its only response.
+        serving a static page to whoever asks is its only response —
+        and the page is served even when the recorder fails, because a
+        visibly broken host would perturb the measurement itself.
         """
-        self.recorder.record_request(request)
+        try:
+            self.recorder.record_request(request)
+        except ReproError as exc:
+            self._quarantine(request, exc, request.timestamp)
         self.pages_served += 1
         return LANDING_PAGE
+
+    def _quarantine(
+        self, item: object, error: ReproError, timestamp: int
+    ) -> None:
+        self.recorder_errors += 1
+        if self.dead_letters is not None:
+            self.dead_letters.push(
+                item, reason=f"recorder failed: {error}", timestamp=timestamp
+            )
+
+    def replay_dead_letters(self) -> ReplayStats:
+        """Re-record quarantined traffic once the recorder recovers."""
+        if self.dead_letters is None:
+            return ReplayStats()
+
+        def handler(item: object) -> None:
+            if isinstance(item, HttpRequest):
+                self.recorder.record_request(item)
+            else:
+                assert isinstance(item, PacketRecord)
+                self.recorder.record_packet(item)
+
+        return self.dead_letters.replay(handler)
 
     # -- analysis path --------------------------------------------------------
 
@@ -125,5 +164,8 @@ class NxdHoneypot:
             HoneypotReport(domain, subcategory_counts(items), total=len(items))
             for domain, items in by_domain.items()
         ]
-        reports.sort(key=lambda r: r.total, reverse=True)
+        # Tie-break by name: ``hosted_domains`` is a set, so relying on
+        # the stable sort alone would leave equal-total rows in
+        # hash-seed-dependent order across processes.
+        reports.sort(key=lambda r: (-r.total, r.domain))
         return reports

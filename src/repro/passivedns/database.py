@@ -11,12 +11,15 @@ columns.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.clock import SECONDS_PER_DAY, month_key
+from repro.dns.message import RCode
 from repro.dns.name import DomainName
 from repro.passivedns.record import DnsObservation
 from repro.errors import ConfigError
@@ -48,8 +51,13 @@ class PassiveDnsDatabase:
     """Columnar store of NXDomain observations with §4's query API."""
 
     _CHUNK = 1 << 16
+    #: Bound on the duplicate-suppression window.  Redeliveries in real
+    #: feeds are near-adjacent (a retried publish, an at-least-once
+    #: redelivery), so a sliding window of recent observation keys is
+    #: both sufficient and checkpointable.
+    DEDUP_WINDOW = 4096
 
-    def __init__(self) -> None:
+    def __init__(self, deduplicate: bool = False) -> None:
         self._id_of: Dict[DomainName, int] = {}
         self._domains: List[DomainName] = []
         self._first_seen: List[int] = []
@@ -60,13 +68,30 @@ class PassiveDnsDatabase:
         self._row_time: List[int] = []
         self._row_count: List[int] = []
         self._frozen: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self.deduplicate = deduplicate
+        self._recent_keys: "OrderedDict[tuple, None]" = OrderedDict()
+        self.duplicates_suppressed = 0
 
     # -- ingestion --------------------------------------------------------
 
     def ingest(self, observation: DnsObservation) -> None:
-        """Channel-subscriber entry point (NXDomains only)."""
+        """Channel-subscriber entry point (NXDomains only).
+
+        With ``deduplicate`` enabled, a redelivery of an observation
+        whose key is still inside the sliding window is suppressed and
+        counted — the idempotence that makes at-least-once channel
+        delivery and dead-letter replay safe.
+        """
         if not observation.is_nxdomain:
             return
+        if self.deduplicate:
+            key = observation.observation_key
+            if key in self._recent_keys:
+                self.duplicates_suppressed += 1
+                return
+            self._recent_keys[key] = None
+            while len(self._recent_keys) > self.DEDUP_WINDOW:
+                self._recent_keys.popitem(last=False)
         self.add(
             observation.registered_domain,
             observation.timestamp,
@@ -105,6 +130,52 @@ class PassiveDnsDatabase:
                 np.asarray(self._row_count, dtype=np.int64),
             )
         return self._frozen
+
+    # -- replay / integrity ------------------------------------------------
+
+    def iter_observations(self, sensor_id: str = "replay") -> Iterator[DnsObservation]:
+        """Re-emit every stored row as an NXDOMAIN observation.
+
+        Rows come back in insertion order, so replaying them through a
+        fault-free pipeline reproduces the store exactly — the entry
+        point for the fault-sweep and checkpoint/resume machinery.
+        """
+        for domain_id, timestamp, count in zip(
+            self._row_domain, self._row_time, self._row_count
+        ):
+            yield DnsObservation(
+                qname=self._domains[domain_id],
+                rcode=RCode.NXDOMAIN,
+                timestamp=timestamp,
+                sensor_id=sensor_id,
+                count=count,
+            )
+
+    def fingerprint(self) -> str:
+        """Order-insensitive SHA-256 of the store's contents.
+
+        Rows are hashed in a canonical sort so that two stores holding
+        the same observations — regardless of arrival order (retries
+        and dead-letter replay reorder rows) — fingerprint identically.
+        """
+        digest = hashlib.sha256()
+        rows = sorted(
+            (str(self._domains[d]), t, c)
+            for d, t, c in zip(
+                self._row_domain, self._row_time, self._row_count
+            )
+        )
+        for name, timestamp, count in rows:
+            digest.update(f"{name}\x00{timestamp}\x00{count}\n".encode("utf-8"))
+        return digest.hexdigest()
+
+    def recent_keys(self) -> List[tuple]:
+        """The dedup window's keys, oldest first (checkpoint payload)."""
+        return list(self._recent_keys)
+
+    def restore_recent_keys(self, keys: Iterable[tuple]) -> None:
+        """Reload a dedup window saved by :meth:`recent_keys`."""
+        self._recent_keys = OrderedDict((tuple(k), None) for k in keys)
 
     # -- global aggregates ---------------------------------------------------
 

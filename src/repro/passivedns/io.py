@@ -9,8 +9,11 @@ string array, the per-domain aggregates, and the three row columns.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Union
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -19,6 +22,7 @@ from repro.passivedns.database import PassiveDnsDatabase
 from repro.errors import ConfigError
 
 FORMAT_VERSION = 1
+CHECKPOINT_VERSION = 1
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -60,6 +64,83 @@ def load_database(path: PathLike) -> PassiveDnsDatabase:
         db._frozen = None
     _validate(db)
     return db
+
+
+@dataclass
+class CheckpointState:
+    """One durable snapshot of a long-running ingestion.
+
+    ``cursor`` is how many source events had been *offered* when the
+    snapshot was taken; ``injector_counters`` are the fault schedule's
+    per-injector draw counts (so a resumed run can fast-forward its RNG
+    streams); ``extra`` carries pipeline-specific counters verbatim.
+    """
+
+    database: PassiveDnsDatabase
+    cursor: int
+    injector_counters: Dict[str, int] = field(default_factory=dict)
+    extra: Dict[str, int] = field(default_factory=dict)
+
+
+def save_checkpoint(
+    db: PassiveDnsDatabase,
+    directory: PathLike,
+    cursor: int,
+    injector_counters: Optional[Dict[str, int]] = None,
+    extra: Optional[Dict[str, int]] = None,
+) -> Path:
+    """Write a resumable ingestion snapshot under ``directory``."""
+    if cursor < 0:
+        raise ConfigError("checkpoint cursor must be non-negative")
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    save_database(db, root / "checkpoint.npz")
+    manifest = {
+        "version": CHECKPOINT_VERSION,
+        "cursor": int(cursor),
+        "fingerprint": db.fingerprint(),
+        "deduplicate": db.deduplicate,
+        "recent_keys": [list(key) for key in db.recent_keys()],
+        "duplicates_suppressed": db.duplicates_suppressed,
+        "injector_counters": dict(injector_counters or {}),
+        "extra": dict(extra or {}),
+    }
+    (root / "checkpoint.json").write_text(json.dumps(manifest, indent=2))
+    return root
+
+
+def load_checkpoint(directory: PathLike) -> Optional[CheckpointState]:
+    """Read a snapshot written by :func:`save_checkpoint`.
+
+    Returns ``None`` when no checkpoint exists; raises
+    :class:`ConfigError` when one exists but fails integrity checks.
+    """
+    root = Path(directory)
+    manifest_path = root / "checkpoint.json"
+    if not manifest_path.exists():
+        return None
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("version") != CHECKPOINT_VERSION:
+        raise ConfigError(
+            f"unsupported checkpoint version {manifest.get('version')}"
+        )
+    db = load_database(root / "checkpoint.npz")
+    if db.fingerprint() != manifest["fingerprint"]:
+        raise ConfigError("corrupt checkpoint: store fingerprint mismatch")
+    db.deduplicate = bool(manifest.get("deduplicate", False))
+    db.restore_recent_keys(
+        tuple(key) for key in manifest.get("recent_keys", [])
+    )
+    db.duplicates_suppressed = int(manifest.get("duplicates_suppressed", 0))
+    return CheckpointState(
+        database=db,
+        cursor=int(manifest["cursor"]),
+        injector_counters={
+            str(k): int(v)
+            for k, v in manifest.get("injector_counters", {}).items()
+        },
+        extra={str(k): int(v) for k, v in manifest.get("extra", {}).items()},
+    )
 
 
 def _validate(db: PassiveDnsDatabase) -> None:

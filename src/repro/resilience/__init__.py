@@ -1,0 +1,30 @@
+"""Resilience primitives that absorb injected (and real) faults.
+
+Three classic building blocks, all deterministic and simulation-clock
+driven so they pass the REP001/REP002 linter and reproduce bit-for-bit:
+
+- :class:`RetryPolicy` — bounded retries with exponential backoff and
+  deterministic jitter (the jitter stream comes from :mod:`repro.rand`;
+  waiting advances a :class:`repro.clock.SimClock`, never wall clock);
+- :class:`CircuitBreaker` — closed/open/half-open failure isolation
+  with a simulated-time reset window;
+- :class:`DeadLetterQueue` — a bounded queue of failed deliveries with
+  replay, so transient faults lose nothing and permanent ones are
+  quarantined instead of crashing the pipeline.
+
+The passive DNS wiring that composes these with the fault harness
+lives in :mod:`repro.passivedns.pipeline`.
+"""
+
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.dlq import DeadLetter, DeadLetterQueue, ReplayStats
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "ReplayStats",
+    "RetryPolicy",
+]

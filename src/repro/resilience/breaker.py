@@ -1,0 +1,111 @@
+"""A circuit breaker over simulated time."""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, TypeVar
+
+from repro.errors import CircuitOpenError, ConfigError
+
+T = TypeVar("T")
+
+
+class BreakerState(enum.Enum):
+    """The classic three-state breaker machine."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Stops hammering a failing dependency; probes it after a cooldown.
+
+    State transitions are driven entirely by the caller-supplied
+    ``now`` (simulated epoch seconds), so breaker behaviour is as
+    reproducible as the rest of the stack:
+
+    - CLOSED → OPEN after ``failure_threshold`` consecutive failures;
+    - OPEN → HALF_OPEN once ``reset_timeout`` seconds have passed;
+    - HALF_OPEN → CLOSED after ``probe_successes`` successes, or back
+      to OPEN on any failure.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: int = 300,
+        probe_successes: int = 1,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigError("failure_threshold must be at least 1")
+        if reset_timeout < 1:
+            raise ConfigError("reset_timeout must be at least 1 second")
+        if probe_successes < 1:
+            raise ConfigError("probe_successes must be at least 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.probe_successes = probe_successes
+        self.state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._probe_streak = 0
+        self._opened_at = 0
+        # Lifetime counters an operator would graph.
+        self.failures = 0
+        self.successes = 0
+        self.rejected = 0
+        self.times_opened = 0
+
+    def allow(self, now: int) -> bool:
+        """Whether a call may proceed at ``now`` (may trip half-open)."""
+        if self.state is BreakerState.OPEN:
+            if now - self._opened_at >= self.reset_timeout:
+                self.state = BreakerState.HALF_OPEN
+                self._probe_streak = 0
+                return True
+            return False
+        return True
+
+    def record_success(self, now: int) -> None:
+        """Feed back a successful call."""
+        self.successes += 1
+        self._consecutive_failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_streak += 1
+            if self._probe_streak >= self.probe_successes:
+                self.state = BreakerState.CLOSED
+
+    def record_failure(self, now: int) -> None:
+        """Feed back a failed call."""
+        self.failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self._trip(now)
+            return
+        self._consecutive_failures += 1
+        if (
+            self.state is BreakerState.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._trip(now)
+
+    def _trip(self, now: int) -> None:
+        self.state = BreakerState.OPEN
+        self._opened_at = now
+        self._consecutive_failures = 0
+        self.times_opened += 1
+
+    def call(self, operation: Callable[[], T], now: int) -> T:
+        """Run ``operation`` through the breaker at ``now``."""
+        if not self.allow(now):
+            self.rejected += 1
+            raise CircuitOpenError(
+                f"circuit open since t={self._opened_at} "
+                f"(retry after {self.reset_timeout}s)"
+            )
+        try:
+            result = operation()
+        except Exception:
+            self.record_failure(now)
+            raise
+        self.record_success(now)
+        return result

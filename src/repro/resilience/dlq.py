@@ -1,0 +1,103 @@
+"""A bounded dead-letter queue with replay."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Deque, List
+
+from repro.errors import ConfigError, TransientError
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One quarantined item and why it ended up here."""
+
+    item: Any
+    reason: str
+    timestamp: int
+    attempts: int = 1
+
+
+@dataclass
+class ReplayStats:
+    """What one :meth:`DeadLetterQueue.replay` pass accomplished."""
+
+    replayed: int = 0
+    succeeded: int = 0
+    requeued: int = 0
+    abandoned: int = 0
+
+
+class DeadLetterQueue:
+    """Bounded FIFO of failed deliveries.
+
+    When full, the *oldest* letter is evicted (and counted) so the
+    queue always holds the most recent failures — the same policy a
+    bounded collector buffer applies under sustained outage.
+    """
+
+    def __init__(self, capacity: int = 1024, max_attempts: int = 5) -> None:
+        if capacity < 1:
+            raise ConfigError("capacity must be at least 1")
+        if max_attempts < 1:
+            raise ConfigError("max_attempts must be at least 1")
+        self.capacity = capacity
+        self.max_attempts = max_attempts
+        self._letters: Deque[DeadLetter] = deque()
+        self.pushed = 0
+        self.evicted = 0
+
+    def push(self, item: Any, reason: str, timestamp: int, attempts: int = 1) -> DeadLetter:
+        """Quarantine one failed item; evicts the oldest when full."""
+        letter = DeadLetter(item, reason, timestamp, attempts)
+        if len(self._letters) >= self.capacity:
+            self._letters.popleft()
+            self.evicted += 1
+        self._letters.append(letter)
+        self.pushed += 1
+        return letter
+
+    def letters(self) -> List[DeadLetter]:
+        """A copy of the queued letters, oldest first."""
+        return list(self._letters)
+
+    def clear(self) -> int:
+        """Drop everything; returns how many letters were discarded."""
+        dropped = len(self._letters)
+        self._letters.clear()
+        return dropped
+
+    def replay(self, handler: Callable[[Any], None]) -> ReplayStats:
+        """Re-deliver every queued letter through ``handler``.
+
+        Letters whose handler raises a :class:`TransientError` are
+        requeued with their attempt count bumped — until
+        ``max_attempts``, after which they are abandoned (counted, not
+        re-raised).  Non-transient errors propagate: a replay handler
+        that is *wrongly* failing should crash loudly, not loop.
+        """
+        stats = ReplayStats()
+        pending = len(self._letters)
+        for _ in range(pending):
+            letter = self._letters.popleft()
+            stats.replayed += 1
+            try:
+                handler(letter.item)
+            except TransientError as exc:
+                if letter.attempts >= self.max_attempts:
+                    stats.abandoned += 1
+                    continue
+                requeued = replace(
+                    letter,
+                    attempts=letter.attempts + 1,
+                    reason=f"replay failed: {exc}",
+                )
+                self._letters.append(requeued)
+                stats.requeued += 1
+            else:
+                stats.succeeded += 1
+        return stats
+
+    def __len__(self) -> int:
+        return len(self._letters)

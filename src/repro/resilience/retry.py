@@ -1,0 +1,82 @@
+"""Bounded retries with exponential backoff and deterministic jitter."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+import numpy as np
+
+from repro.clock import SimClock
+from repro.errors import ConfigError, TransientError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a transient failure, and how patiently.
+
+    Delays follow ``base_delay * multiplier**attempt`` capped at
+    ``max_delay``; ``jitter`` spreads each delay by up to ±that
+    fraction, drawn from a caller-supplied seeded generator so the
+    spread is reproducible.  Waiting advances a simulated clock.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 1.0
+    multiplier: float = 2.0
+    max_delay: float = 60.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ConfigError("multiplier must be at least 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError("jitter must lie in [0, 1)")
+
+    def delay_for(
+        self, attempt: int, rng: Optional[np.random.Generator] = None
+    ) -> float:
+        """Backoff before retry number ``attempt`` (0-based), jittered."""
+        if attempt < 0:
+            raise ConfigError("attempt must be non-negative")
+        delay = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return delay
+
+    def run(
+        self,
+        operation: Callable[[], T],
+        clock: Optional[SimClock] = None,
+        rng: Optional[np.random.Generator] = None,
+        retry_on: Tuple[Type[BaseException], ...] = (TransientError,),
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    ) -> T:
+        """Call ``operation``, retrying ``retry_on`` failures.
+
+        After the final attempt the last error is re-raised unchanged,
+        so callers keep seeing the underlying failure class.  When a
+        ``clock`` is supplied, each backoff advances it by the (whole
+        seconds, rounded up) jittered delay.
+        """
+        last: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            try:
+                return operation()
+            except retry_on as exc:
+                last = exc
+                if attempt == self.max_attempts - 1:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                if clock is not None:
+                    delay = self.delay_for(attempt, rng)
+                    clock.advance(int(math.ceil(delay)))
+        raise last if last is not None else ConfigError("retry loop fell through")

@@ -22,12 +22,14 @@ import dataclasses
 import json
 import os
 from pathlib import Path
-from typing import Union
+from typing import Optional, Tuple, Union
 
 from repro.blocklist.categories import ThreatCategory
 from repro.blocklist.store import BlocklistEntry, BlocklistStore, RateLimit
 from repro.dns.name import DomainName
+from repro.faults.plan import FaultPlan
 from repro.passivedns.io import load_database, save_database
+from repro.passivedns.pipeline import PipelineStats, ResilientIngestPipeline
 from repro.squatting.detector import SquattingType
 from repro.whois.io import load_history, save_history
 from repro.errors import ConfigError
@@ -82,6 +84,45 @@ def load_trace(directory: PathLike) -> TraceResult:
     if len(trace.population) != manifest["domains"]:
         raise ConfigError("corrupt trace archive: population count mismatch")
     return trace
+
+
+def replay_with_checkpoints(
+    trace: TraceResult,
+    plan: FaultPlan,
+    seed: int,
+    directory: PathLike,
+    every: int = 5_000,
+    stop_after: Optional[int] = None,
+) -> Tuple[Optional[TraceResult], PipelineStats]:
+    """Faulted replay of ``trace.nx_db`` with durable progress.
+
+    The pipeline checkpoints to ``directory`` every ``every`` offered
+    observations, and — crucially — *resumes* from whatever checkpoint
+    is already there, fast-forwarding the fault schedule's RNG streams
+    so the continued run makes exactly the decisions the interrupted
+    one would have.  ``stop_after`` aborts after that many additional
+    observations (checkpointing first) to simulate an interruption;
+    the return is then ``(None, stats)``.  A completed replay returns
+    the degraded :class:`TraceResult` and final pipeline stats.
+    """
+    pipeline = ResilientIngestPipeline(
+        schedule=plan.schedule(seed),
+        checkpoint_dir=directory,
+        checkpoint_every=every,
+    )
+    cursor = pipeline.resume()
+    for index, observation in enumerate(trace.nx_db.iter_observations()):
+        if index < cursor:
+            continue
+        pipeline.ingest(observation)
+        if (
+            stop_after is not None
+            and pipeline.stats.offered - cursor >= stop_after
+        ):
+            pipeline.checkpoint()
+            return None, pipeline.stats
+    stats = pipeline.finish()
+    return dataclasses.replace(trace, nx_db=pipeline.database), stats
 
 
 # ---------------------------------------------------------------------------

@@ -28,6 +28,7 @@ preserved.  The never-registered >> expired ordering also holds.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -41,7 +42,9 @@ from repro.dga.corpus import benign_label
 from repro.dga.families import ALL_FAMILIES
 from repro.dns.name import DomainName
 from repro.errors import WorkloadError
+from repro.faults.plan import FaultPlan
 from repro.passivedns.database import PassiveDnsDatabase
+from repro.passivedns.pipeline import PipelineStats, ResilientIngestPipeline
 from repro.rand import SeedSequenceFactory, weighted_choice
 from repro.squatting.bit import bitsquat_variants
 from repro.squatting.combo import combosquat_variants
@@ -192,6 +195,24 @@ class TraceResult:
             if record.domain == key:
                 return record
         return None
+
+    def degraded(
+        self, plan: FaultPlan, seed: int
+    ) -> Tuple["TraceResult", PipelineStats]:
+        """Replay the NX store through a faulted resilient pipeline.
+
+        Every stored observation is re-offered to a
+        :class:`~repro.passivedns.pipeline.ResilientIngestPipeline`
+        carrying ``plan.schedule(seed)``; the result is a copy of this
+        trace whose ``nx_db`` holds only what survived collection under
+        those faults — the input for measuring how far §4's shape
+        checks degrade at a given loss level.  A null plan reproduces
+        ``nx_db`` exactly (same fingerprint).
+        """
+        pipeline = ResilientIngestPipeline(schedule=plan.schedule(seed))
+        pipeline.ingest_many(self.nx_db.iter_observations())
+        stats = pipeline.finish()
+        return dataclasses.replace(self, nx_db=pipeline.database), stats
 
 
 def _allocate_quotas(

@@ -1,0 +1,69 @@
+"""Degradation-curve sweep: shape checks under injected collection loss."""
+
+import pytest
+
+from repro.core.study import StudyConfig
+from repro.core.validation import fault_sweep
+from repro.errors import ConfigError
+
+CONFIG = StudyConfig(trace_domains=1_200, squat_count=60)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return fault_sweep([0, 1], CONFIG, rates=(0.0, 0.05))
+
+
+def test_sweep_covers_every_rate(report):
+    assert [point.rate for point in report.points] == [0.0, 0.05]
+    assert report.seeds == [0, 1]
+
+
+def test_baseline_is_the_zero_rate_point(report):
+    baseline = report.baseline()
+    assert baseline.rate == 0.0
+    assert baseline.delivered_fraction == 1.0
+    assert baseline.dropped == 0
+
+
+def test_loss_shrinks_delivery_roughly_by_the_rate(report):
+    degraded = report.points[-1]
+    # loss(0.05) drops ~5% of observations and dedups the duplicates.
+    assert 0.90 <= degraded.delivered_fraction <= 0.99
+    assert degraded.dropped > 0
+
+
+def test_store_faults_are_fully_replayed(report):
+    degraded = report.points[-1]
+    assert degraded.store_failures == degraded.replay_recovered
+
+
+def test_no_regressions_at_five_percent_loss(report):
+    """The §4 shape checks hold as well at 5% loss as cleanly."""
+    assert report.regressions(0.05) == []
+
+
+def test_sweep_is_deterministic():
+    small = StudyConfig(trace_domains=900, squat_count=50)
+    first = fault_sweep([3], small, rates=(0.05,))
+    second = fault_sweep([3], small, rates=(0.05,))
+    assert first.points[0].delivered_fraction == second.points[0].delivered_fraction
+    assert first.points[0].dropped == second.points[0].dropped
+    assert (
+        first.points[0].report.overall_pass_rate()
+        == second.points[0].report.overall_pass_rate()
+    )
+
+
+def test_rows_render_one_line_per_rate(report):
+    rows = report.rows()
+    assert len(rows) == 2
+    assert rows[0][0] == "0.0%"
+    assert rows[1][0] == "5.0%"
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        fault_sweep([], CONFIG)
+    with pytest.raises(ConfigError):
+        fault_sweep([0], CONFIG, rates=(1.5,))

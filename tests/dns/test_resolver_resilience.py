@@ -1,0 +1,84 @@
+"""Recursive resolver retries over transient upstream failures."""
+
+import pytest
+
+from repro.dns.hierarchy import DnsHierarchy
+from repro.dns.message import RCode
+from repro.dns.name import DomainName
+from repro.dns.resolver import RecursiveResolver
+from repro.dns.tld import TldRegistry
+from repro.errors import TransientResolutionError
+from repro.rand import make_rng
+from repro.resilience import RetryPolicy
+
+WWW = DomainName("www.example.com")
+
+
+@pytest.fixture
+def hierarchy():
+    h = DnsHierarchy.build(TldRegistry.default())
+    h.register_domain(DomainName("example.com"), "93.184.216.34")
+    return h
+
+
+class FlakyUpstream:
+    """A fault hook that times out the first ``failures`` walks."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self, qname):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise TransientResolutionError(f"timeout resolving {qname}")
+
+
+def test_retry_policy_recovers_from_transient_upstream_failures(hierarchy):
+    iterative = hierarchy.make_iterative_resolver()
+    iterative.fault_hook = FlakyUpstream(2)
+    resolver = RecursiveResolver(
+        iterative,
+        retry_policy=RetryPolicy(max_attempts=3),
+        retry_rng=make_rng(0),
+    )
+    result = resolver.resolve(WWW, now=0)
+    assert result.rcode == RCode.NOERROR
+    assert result.addresses() == ["93.184.216.34"]
+    assert resolver.stats.upstream_retries == 2
+
+
+def test_without_policy_transient_failures_propagate(hierarchy):
+    iterative = hierarchy.make_iterative_resolver()
+    iterative.fault_hook = FlakyUpstream(1)
+    resolver = RecursiveResolver(iterative)
+    with pytest.raises(TransientResolutionError):
+        resolver.resolve(WWW, now=0)
+    assert resolver.stats.upstream_retries == 0
+
+
+def test_exhausted_retries_reraise(hierarchy):
+    iterative = hierarchy.make_iterative_resolver()
+    upstream = FlakyUpstream(10)
+    iterative.fault_hook = upstream
+    resolver = RecursiveResolver(
+        iterative, retry_policy=RetryPolicy(max_attempts=2)
+    )
+    with pytest.raises(TransientResolutionError):
+        resolver.resolve(WWW, now=0)
+    assert upstream.calls == 2
+    assert resolver.stats.upstream_retries == 1
+
+
+def test_cache_hits_never_touch_the_flaky_upstream(hierarchy):
+    iterative = hierarchy.make_iterative_resolver()
+    resolver = RecursiveResolver(
+        iterative, retry_policy=RetryPolicy(max_attempts=3)
+    )
+    resolver.resolve(WWW, now=0)
+    iterative.fault_hook = FlakyUpstream(100)
+    # The cached answer short-circuits before the upstream walk.
+    result = resolver.resolve(WWW, now=10)
+    assert result.addresses() == ["93.184.216.34"]
+    assert resolver.stats.cache_hits == 1
+    assert resolver.stats.upstream_retries == 0

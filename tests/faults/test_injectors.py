@@ -1,0 +1,169 @@
+"""Unit tests for the individual fault injectors."""
+
+import pytest
+
+from repro.clock import SECONDS_PER_DAY, STUDY_START, date_to_epoch
+from repro.errors import (
+    ConfigError,
+    InjectedFaultError,
+    TransientStoreError,
+)
+from repro.faults import FaultPlan
+from repro.faults.injectors import (
+    CorruptionInjector,
+    DropInjector,
+    DuplicateInjector,
+    InjectionLog,
+    ReorderInjector,
+)
+from repro.rand import make_rng
+
+T0 = date_to_epoch(STUDY_START)
+
+
+def test_plan_rejects_out_of_range_rates():
+    with pytest.raises(ConfigError):
+        FaultPlan(drop_rate=1.5)
+    with pytest.raises(ConfigError):
+        FaultPlan(store_failure_rate=-0.1)
+    with pytest.raises(ConfigError):
+        FaultPlan(reorder_depth=0)
+    with pytest.raises(ConfigError):
+        FaultPlan(horizon_start=100, horizon_end=100)
+
+
+def test_null_plan_is_null_and_injects_nothing():
+    plan = FaultPlan()
+    assert plan.is_null
+    schedule = plan.schedule(0)
+    for index in range(50):
+        assert not schedule.drop.should_drop(T0 + index)
+        assert schedule.duplicate.copies(T0 + index) == 1
+        assert schedule.burst.factor(T0 + index) == 1
+        schedule.crash.maybe_crash("x")
+        schedule.store.check("x")
+    assert len(schedule.log) == 0
+    assert schedule.injected_total() == 0
+
+
+def test_loss_plan_is_not_null():
+    assert not FaultPlan.loss(0.05).is_null
+    with pytest.raises(ConfigError):
+        FaultPlan.loss(1.5)
+
+
+def test_dropout_window_always_drops():
+    log = InjectionLog()
+    injector = DropInjector(
+        0.0, [(T0, T0 + SECONDS_PER_DAY)], make_rng(1), log
+    )
+    assert injector.should_drop(T0 + 100)
+    assert not injector.should_drop(T0 + SECONDS_PER_DAY)
+    assert injector.window_drops == 1
+    assert injector.random_drops == 0
+    assert injector.draws == 2  # one draw per decision, window or not
+
+
+def test_random_drop_rate_extremes():
+    log = InjectionLog()
+    never = DropInjector(0.0, [], make_rng(1), log)
+    always = DropInjector(1.0, [], make_rng(1), log)
+    assert not any(never.should_drop(T0 + i) for i in range(100))
+    assert all(always.should_drop(T0 + i) for i in range(100))
+
+
+def test_corruption_flips_exactly_one_byte():
+    log = InjectionLog()
+    injector = CorruptionInjector(1.0, make_rng(3), log)
+    original = bytes(range(64))
+    mangled = injector.corrupt(original)
+    assert mangled is not original
+    diffs = [i for i, (a, b) in enumerate(zip(original, mangled)) if a != b]
+    assert len(diffs) == 1
+    assert len(mangled) == len(original)
+
+
+def test_corruption_returns_same_object_when_not_firing():
+    log = InjectionLog()
+    injector = CorruptionInjector(0.0, make_rng(3), log)
+    original = b"\x01\x02\x03"
+    assert injector.corrupt(original) is original
+    assert injector.corrupt(b"") == b""
+
+
+def test_duplicate_copies_is_one_or_two():
+    log = InjectionLog()
+    injector = DuplicateInjector(0.5, make_rng(4), log)
+    copies = {injector.copies(T0 + i) for i in range(200)}
+    assert copies == {1, 2}
+
+
+def test_reorder_holds_then_releases_in_burst():
+    log = InjectionLog()
+    injector = ReorderInjector(1.0, 2, make_rng(5), log)
+    assert injector.push("a") == []
+    assert injector.push("b") == []
+    assert injector.held == 2
+    # Buffer full: the next item flushes everything, new item first.
+    assert injector.push("c") == ["c", "a", "b"]
+    assert injector.held == 0
+    assert injector.push("d") == []
+    assert injector.flush() == ["d"]
+    assert injector.flush() == []
+
+
+def test_reorder_rate_zero_is_passthrough():
+    log = InjectionLog()
+    injector = ReorderInjector(0.0, 4, make_rng(5), log)
+    for item in ("a", "b", "c"):
+        assert injector.push(item) == [item]
+
+
+def test_crash_injector_raises_and_wraps():
+    plan = FaultPlan(subscriber_crash_rate=1.0)
+    schedule = plan.schedule(9)
+    with pytest.raises(InjectedFaultError):
+        schedule.crash.maybe_crash("tap")
+    seen = []
+    wrapped = schedule.crash.wrap(seen.append, context="tap")
+    with pytest.raises(InjectedFaultError):
+        wrapped("item")
+    assert seen == []
+
+
+def test_store_injector_raises_transient_store_error():
+    plan = FaultPlan(store_failure_rate=1.0)
+    schedule = plan.schedule(9)
+    with pytest.raises(TransientStoreError):
+        schedule.store.check("write")
+
+
+def test_burst_factor_only_inside_windows():
+    plan = FaultPlan(burst_episodes=1, burst_days=2.0, burst_multiplier=7)
+    schedule = plan.schedule(11)
+    (window,) = schedule.burst_windows
+    assert schedule.burst.factor(window.start) == 7
+    assert schedule.burst.factor(window.end) == 1
+    assert schedule.burst.draws == 0  # purely window-driven
+
+
+def test_fast_forward_rejects_negative_and_unknown():
+    schedule = FaultPlan(drop_rate=0.5).schedule(1)
+    with pytest.raises(ConfigError):
+        schedule.drop.fast_forward(-1)
+    with pytest.raises(ConfigError):
+        schedule.fast_forward({"bogus": 3})
+    with pytest.raises(ConfigError):
+        schedule.injector_seed("bogus")
+
+
+def test_log_fingerprint_tracks_content():
+    plan = FaultPlan(drop_rate=1.0)
+    a = plan.schedule(1)
+    b = plan.schedule(1)
+    a.drop.should_drop(T0)
+    assert a.fingerprint() != b.fingerprint()
+    b.drop.should_drop(T0)
+    assert a.fingerprint() == b.fingerprint()
+    assert a.log.lines() == b.log.lines()
+    assert a.summary() == b.summary()

@@ -1,0 +1,94 @@
+"""CircuitBreaker state machine over simulated time."""
+
+import pytest
+
+from repro.errors import CircuitOpenError, ConfigError, TransientStoreError
+from repro.resilience import BreakerState, CircuitBreaker
+
+
+def _failing():
+    raise TransientStoreError("down")
+
+
+def test_opens_after_consecutive_failures():
+    breaker = CircuitBreaker(failure_threshold=3, reset_timeout=60)
+    for now in range(3):
+        with pytest.raises(TransientStoreError):
+            breaker.call(_failing, now=now)
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.times_opened == 1
+
+
+def test_open_breaker_rejects_without_calling():
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=60)
+    with pytest.raises(TransientStoreError):
+        breaker.call(_failing, now=0)
+    calls = []
+    with pytest.raises(CircuitOpenError):
+        breaker.call(lambda: calls.append(1), now=30)
+    assert calls == []
+    assert breaker.rejected == 1
+
+
+def test_half_open_probe_closes_on_success():
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=60)
+    with pytest.raises(TransientStoreError):
+        breaker.call(_failing, now=0)
+    assert breaker.call(lambda: "ok", now=61) == "ok"
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_half_open_probe_failure_reopens():
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=60)
+    with pytest.raises(TransientStoreError):
+        breaker.call(_failing, now=0)
+    with pytest.raises(TransientStoreError):
+        breaker.call(_failing, now=61)
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.times_opened == 2
+    # The cooldown restarts from the probe failure.
+    assert not breaker.allow(now=100)
+    assert breaker.allow(now=121)
+
+
+def test_success_resets_the_failure_streak():
+    breaker = CircuitBreaker(failure_threshold=2, reset_timeout=60)
+    with pytest.raises(TransientStoreError):
+        breaker.call(_failing, now=0)
+    assert breaker.call(lambda: "ok", now=1) == "ok"
+    with pytest.raises(TransientStoreError):
+        breaker.call(_failing, now=2)
+    # One failure after a success: streak is 1, breaker still closed.
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_multi_probe_half_open():
+    breaker = CircuitBreaker(
+        failure_threshold=1, reset_timeout=10, probe_successes=2
+    )
+    with pytest.raises(TransientStoreError):
+        breaker.call(_failing, now=0)
+    assert breaker.call(lambda: "a", now=11) == "a"
+    assert breaker.state is BreakerState.HALF_OPEN
+    assert breaker.call(lambda: "b", now=12) == "b"
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_programming_errors_still_count_and_propagate():
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=60)
+
+    def broken():
+        raise ValueError("bug")  # repro: noqa[REP003] - simulating a bug
+
+    with pytest.raises(ValueError):
+        breaker.call(broken, now=0)
+    assert breaker.state is BreakerState.OPEN
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ConfigError):
+        CircuitBreaker(reset_timeout=0)
+    with pytest.raises(ConfigError):
+        CircuitBreaker(probe_successes=0)

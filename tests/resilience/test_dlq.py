@@ -1,0 +1,92 @@
+"""DeadLetterQueue: bounded quarantine with replay semantics."""
+
+import pytest
+
+from repro.errors import ConfigError, TransientStoreError, WorkloadError
+from repro.resilience import DeadLetterQueue
+
+
+def test_push_and_replay_success():
+    queue = DeadLetterQueue(capacity=8)
+    queue.push("a", reason="store down", timestamp=10)
+    queue.push("b", reason="store down", timestamp=11)
+    delivered = []
+    stats = queue.replay(delivered.append)
+    assert delivered == ["a", "b"]
+    assert stats.replayed == 2
+    assert stats.succeeded == 2
+    assert len(queue) == 0
+
+
+def test_capacity_evicts_oldest():
+    queue = DeadLetterQueue(capacity=2)
+    for index in range(4):
+        queue.push(index, reason="r", timestamp=index)
+    assert queue.evicted == 2
+    assert [letter.item for letter in queue.letters()] == [2, 3]
+    assert queue.pushed == 4
+
+
+def test_transient_replay_failures_requeue_with_attempt_bump():
+    queue = DeadLetterQueue(capacity=8, max_attempts=3)
+    queue.push("x", reason="first failure", timestamp=0)
+
+    def always_fails(item):
+        raise TransientStoreError("still down")
+
+    stats = queue.replay(always_fails)
+    assert stats.requeued == 1
+    (letter,) = queue.letters()
+    assert letter.attempts == 2
+    assert "replay failed" in letter.reason
+
+
+def test_abandon_after_max_attempts():
+    queue = DeadLetterQueue(capacity=8, max_attempts=2)
+    queue.push("x", reason="r", timestamp=0)
+
+    def always_fails(item):
+        raise TransientStoreError("still down")
+
+    first = queue.replay(always_fails)
+    assert first.requeued == 1
+    second = queue.replay(always_fails)
+    assert second.abandoned == 1
+    assert len(queue) == 0
+
+
+def test_replay_processes_each_letter_once_per_pass():
+    """A requeued letter is not retried again within the same pass."""
+    queue = DeadLetterQueue(capacity=8, max_attempts=5)
+    queue.push("x", reason="r", timestamp=0)
+    calls = []
+
+    def always_fails(item):
+        calls.append(item)
+        raise TransientStoreError("down")
+
+    queue.replay(always_fails)
+    assert calls == ["x"]
+    assert len(queue) == 1
+
+
+def test_non_transient_replay_errors_propagate():
+    queue = DeadLetterQueue(capacity=8)
+    queue.push("x", reason="r", timestamp=0)
+
+    def broken(item):
+        raise WorkloadError("handler bug")
+
+    with pytest.raises(WorkloadError):
+        queue.replay(broken)
+
+
+def test_clear_and_validation():
+    queue = DeadLetterQueue(capacity=4)
+    queue.push("x", reason="r", timestamp=0)
+    assert queue.clear() == 1
+    assert len(queue) == 0
+    with pytest.raises(ConfigError):
+        DeadLetterQueue(capacity=0)
+    with pytest.raises(ConfigError):
+        DeadLetterQueue(max_attempts=0)

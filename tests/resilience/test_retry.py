@@ -1,0 +1,122 @@
+"""RetryPolicy: attempt counting, backoff timing, jitter determinism."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.errors import (
+    ConfigError,
+    ResolutionError,
+    TransientError,
+    TransientStoreError,
+)
+from repro.rand import make_rng
+from repro.resilience import RetryPolicy
+
+
+class Flaky:
+    """Fails ``failures`` times with ``error``, then succeeds."""
+
+    def __init__(self, failures, error=TransientStoreError):
+        self.failures = failures
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error(f"boom {self.calls}")
+        return "ok"
+
+
+def test_succeeds_first_try_without_waiting():
+    clock = SimClock(now=1_000)
+    assert RetryPolicy().run(Flaky(0), clock=clock) == "ok"
+    assert clock.now == 1_000
+
+
+def test_retries_then_succeeds():
+    operation = Flaky(2)
+    assert RetryPolicy(max_attempts=3).run(operation) == "ok"
+    assert operation.calls == 3
+
+
+def test_exhaustion_reraises_the_underlying_error():
+    operation = Flaky(5)
+    with pytest.raises(TransientStoreError):
+        RetryPolicy(max_attempts=3).run(operation)
+    assert operation.calls == 3
+
+
+def test_non_transient_errors_are_not_retried():
+    operation = Flaky(1, error=ResolutionError)
+    with pytest.raises(ResolutionError):
+        RetryPolicy(max_attempts=5).run(operation)
+    assert operation.calls == 1
+
+
+def test_backoff_advances_the_simulated_clock():
+    clock = SimClock(now=0)
+    policy = RetryPolicy(
+        max_attempts=4, base_delay=1.0, multiplier=2.0, max_delay=60.0
+    )
+    policy.run(Flaky(3), clock=clock)
+    # Waits of 1, 2, and 4 seconds between the four attempts.
+    assert clock.now == 7
+
+
+def test_max_delay_caps_the_backoff():
+    policy = RetryPolicy(base_delay=10.0, multiplier=10.0, max_delay=25.0)
+    assert policy.delay_for(0) == 10.0
+    assert policy.delay_for(1) == 25.0
+    assert policy.delay_for(5) == 25.0
+
+
+def test_jitter_is_deterministic_for_a_seeded_generator():
+    policy = RetryPolicy(base_delay=10.0, jitter=0.5)
+    first = [policy.delay_for(0, make_rng(42)) for _ in range(5)]
+    assert len(set(first)) == 1
+    assert 5.0 <= first[0] <= 15.0
+    assert first[0] != 10.0  # jitter actually applied
+
+
+def test_jittered_backoff_timing_is_reproducible_on_the_clock():
+    def run_once():
+        clock = SimClock(now=0)
+        RetryPolicy(max_attempts=3, base_delay=5.0, jitter=0.4).run(
+            Flaky(2), clock=clock, rng=make_rng(7)
+        )
+        return clock.now
+
+    assert run_once() == run_once()
+
+
+def test_on_retry_sees_each_transient_failure():
+    seen = []
+    RetryPolicy(max_attempts=3).run(
+        Flaky(2), on_retry=lambda attempt, exc: seen.append(attempt)
+    )
+    assert seen == [0, 1]
+
+
+def test_retry_on_narrows_the_caught_classes():
+    operation = Flaky(1, error=TransientStoreError)
+    with pytest.raises(TransientStoreError):
+        RetryPolicy(max_attempts=3).run(
+            operation, retry_on=(ConfigError,)
+        )
+    assert operation.calls == 1
+
+
+def test_policy_validation():
+    with pytest.raises(ConfigError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ConfigError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ConfigError):
+        RetryPolicy(jitter=1.0)
+    with pytest.raises(ConfigError):
+        RetryPolicy().delay_for(-1)
+
+
+def test_transient_hierarchy():
+    assert issubclass(TransientStoreError, TransientError)

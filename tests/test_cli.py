@@ -95,3 +95,30 @@ class TestTraceAndValidate:
         out = capsys.readouterr().out
         assert "shape robustness" in out
         assert code in (0, 1)  # robustness verdict, not a crash
+
+
+class TestFaultsCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.seeds == 3
+        assert args.rates == "0,0.01,0.05,0.1"
+        assert args.gate == 0.05
+
+    def test_fault_sweep_smoke(self, capsys):
+        code = main(
+            ["faults", "--seeds", "1", "--domains", "900",
+             "--rates", "0,0.05", "--gate", "0.05"]
+        )
+        out = capsys.readouterr().out
+        assert "fault rate" in out
+        assert "delivered" in out
+        assert "0.0%" in out and "5.0%" in out
+        # Exit reflects the no-new-regressions gate, never a crash.
+        assert code in (0, 1)
+
+    def test_bad_rate_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["faults", "--seeds", "1", "--domains", "900",
+                  "--rates", "0,1.5"])
