@@ -1,0 +1,131 @@
+"""Analyzer engine benchmarks: cold vs warm vs parallel lint runs.
+
+Self-hosts the linter on this repository three ways and checks the
+engine-level performance contracts:
+
+- **cold** — empty cache: parse + walk every file, then the full
+  whole-program pass;
+- **warm** — content-hash cache from the cold run: no file is
+  re-parsed and the project pass is replayed from cached findings.
+  Contract (CI-enforced): warm time < 25% of cold time;
+- **parallel** — ``jobs=2`` process-pool fan-out.  Contract: output
+  is byte-identical to the serial run; the >=1.5x speedup contract is
+  asserted only on hosts with enough cores to make it physical.
+
+``time.perf_counter`` is a monotonic interval timer, not a wall-clock
+read, so it is (deliberately) outside REP001's ban list.
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import cache as cache_mod
+from repro.analysis import Analyzer, all_rule_ids, instantiate, load_config
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Warm runs must beat this fraction of the cold time (CI gate).
+WARM_COLD_MAX_RATIO = 0.25
+#: Minimum parallel speedup, asserted only when the host has spare
+#: cores; a 1-2 core CI box cannot physically deliver it.
+PARALLEL_MIN_SPEEDUP = 1.5
+PARALLEL_JOBS = 2
+ROUNDS = 3
+
+
+def _fresh_analyzer():
+    config = load_config(REPO_ROOT)
+    rule_ids = config.enabled_rule_ids(all_rule_ids())
+    analyzer = Analyzer(config, instantiate(rule_ids))
+    paths = [REPO_ROOT / p for p in config.paths]
+    signature = cache_mod.ruleset_signature(config, rule_ids)
+    return analyzer, paths, signature
+
+
+def _timed(fn):
+    """Best-of-N wall time; best-of filters scheduler noise."""
+    best = None
+    result = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def timings():
+    """Cold, warm, and parallel self-host runs over this repository."""
+    analyzer, paths, signature = _fresh_analyzer()
+
+    def cold_run():
+        cache = cache_mod.AnalysisCache(signature=signature)
+        return cache, analyzer.run(REPO_ROOT, paths, cache=cache)
+
+    cold_time, (cache, cold_findings) = _timed(cold_run)
+
+    warm_time, warm_findings = _timed(
+        lambda: analyzer.run(REPO_ROOT, paths, cache=cache)
+    )
+
+    parallel_time, parallel_findings = _timed(
+        lambda: analyzer.run(REPO_ROOT, paths, jobs=PARALLEL_JOBS)
+    )
+
+    return {
+        "cold": (cold_time, cold_findings),
+        "warm": (warm_time, warm_findings),
+        "parallel": (parallel_time, parallel_findings),
+        "files": len(cache.files),
+    }
+
+
+def test_cold_run_analyzes_the_tree(timings):
+    cold_time, findings = timings["cold"]
+    print()
+    print(
+        f"cold:     {cold_time * 1e3:8.1f} ms  "
+        f"({timings['files']} files, {len(findings)} findings)"
+    )
+    assert timings["files"] > 50, "self-host scan looks truncated"
+
+
+def test_warm_run_is_incremental(timings):
+    cold_time, cold_findings = timings["cold"]
+    warm_time, warm_findings = timings["warm"]
+    ratio = warm_time / cold_time
+    print()
+    print(f"warm:     {warm_time * 1e3:8.1f} ms  ({ratio:.1%} of cold)")
+    assert [f.to_json() for f in warm_findings] == [
+        f.to_json() for f in cold_findings
+    ], "warm findings diverge from cold"
+    assert ratio < WARM_COLD_MAX_RATIO, (
+        f"warm run took {ratio:.1%} of cold; the incremental cache "
+        f"contract is < {WARM_COLD_MAX_RATIO:.0%}"
+    )
+
+
+def test_parallel_run_matches_serial(timings):
+    cold_time, cold_findings = timings["cold"]
+    parallel_time, parallel_findings = timings["parallel"]
+    speedup = cold_time / parallel_time
+    cores = os.cpu_count() or 1
+    print()
+    print(
+        f"parallel: {parallel_time * 1e3:8.1f} ms  "
+        f"(jobs={PARALLEL_JOBS}, {speedup:.2f}x vs cold, {cores} cores)"
+    )
+    assert [f.to_json() for f in parallel_findings] == [
+        f.to_json() for f in cold_findings
+    ], "parallel findings diverge from serial"
+    if cores >= 2 * PARALLEL_JOBS:
+        # Only assert the speedup where the hardware can deliver it;
+        # on 1-2 core CI runners pool overhead dominates.
+        assert speedup > PARALLEL_MIN_SPEEDUP, (
+            f"jobs={PARALLEL_JOBS} speedup {speedup:.2f}x on {cores} "
+            f"cores; contract is > {PARALLEL_MIN_SPEEDUP}x"
+        )

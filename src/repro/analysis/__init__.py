@@ -8,13 +8,31 @@ substrates independent of the study layer.  This package enforces
 those invariants statically, with zero third-party dependencies, using
 only :mod:`ast` and :mod:`tokenize`.
 
+The engine runs two passes.  The per-file pass walks each module's AST
+once, dispatching nodes to the REP001–REP008 rules.  The whole-program
+pass assembles every module's extracted facts into a
+:class:`~repro.analysis.project.ProjectModel` — resolved names, call
+graph, import graph — and hands it to the flow-sensitive REP101–REP104
+rules, which catch wall-clock reads and unseeded RNGs laundered
+through helpers, dynamic-import layering evasions, and dead exports.
+Per-file results are cached by content hash (warm runs re-analyze only
+changed files plus their dependency cone) and the per-file pass can
+fan out over worker processes.
+
 Pieces:
 
 - :mod:`repro.analysis.rules` — the :class:`~repro.analysis.rules.Rule`
-  plugin API and registry;
-- :mod:`repro.analysis.builtin` — the eight REP001–REP008 rules;
-- :mod:`repro.analysis.engine` — the single-pass visitor engine and
-  ``# repro: noqa[RULE]`` suppression handling;
+  plugin API, registry, and ``--explain`` rendering;
+- :mod:`repro.analysis.builtin` — the eight per-file REP001–REP008
+  rules;
+- :mod:`repro.analysis.project` — module summaries, name resolution,
+  the call/import graphs, and taint propagation;
+- :mod:`repro.analysis.program_rules` — the whole-program
+  REP101–REP104 rules;
+- :mod:`repro.analysis.engine` — the two-pass engine, the process-pool
+  fan-out, and ``# repro: noqa[RULE]`` suppression handling;
+- :mod:`repro.analysis.cache` — the content-hash incremental results
+  cache;
 - :mod:`repro.analysis.baseline` — accepted-debt bookkeeping;
 - :mod:`repro.analysis.report` — text and versioned-JSON output;
 - :mod:`repro.analysis.main` — the driver behind ``repro-nxd lint``
@@ -28,27 +46,44 @@ Programmatic use::
     findings = analyzer.check_source(code, "snippet.py")
 """
 
+from repro.analysis.cache import AnalysisCache, load_cache, save_cache
 from repro.analysis.config import AnalysisConfig, load_config
 from repro.analysis.engine import Analyzer, ModuleContext
-from repro.analysis.findings import META_RULE_ID, Finding, Severity
+from repro.analysis.findings import ANALYZER_VERSION, META_RULE_ID, Finding, Severity
 from repro.analysis.main import main, run_lint
-from repro.analysis.rules import Rule, all_rule_ids, instantiate, register
+from repro.analysis.project import ModuleSummary, ProjectModel
+from repro.analysis.rules import (
+    ProjectRule,
+    Rule,
+    all_rule_ids,
+    explain,
+    instantiate,
+    register,
+)
 
-__all__ = [
+__all__ = [  # repro: noqa[REP104] rule-author API: ctx argument type of Rule.visit
+    "ANALYZER_VERSION",
+    "AnalysisCache",
     "AnalysisConfig",
     "Analyzer",
     "Finding",
     "META_RULE_ID",
     "ModuleContext",
+    "ModuleSummary",
+    "ProjectModel",
+    "ProjectRule",
     "Rule",
     "Severity",
     "all_rule_ids",
     "default_rules",
+    "explain",
     "instantiate",
+    "load_cache",
     "load_config",
     "main",
     "register",
     "run_lint",
+    "save_cache",
 ]
 
 

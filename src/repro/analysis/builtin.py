@@ -46,9 +46,98 @@ def _inside_sorted_call(node: ast.AST, ctx) -> bool:
     return False
 
 
+def _inside_type_checking_block(node: ast.AST, ctx) -> bool:
+    """Whether ``node`` sits under an ``if TYPE_CHECKING:`` guard.
+
+    Such imports never execute at runtime, so they are type-only edges
+    and must not count as layering violations.
+    """
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, ast.If):
+            test = ancestor.test
+            if isinstance(test, ast.Name) and test.id == "TYPE_CHECKING":
+                return True
+            if isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING":
+                return True
+    return False
+
+
+#: Substrate packages (layer 1): independent simulated systems.
+SUBSTRATES = (
+    "dns", "whois", "passivedns", "honeypot", "blocklist",
+    "dga", "squatting",
+)
+#: Foundation packages (layer 0): importable from anywhere.
+FOUNDATION = (
+    "errors", "clock", "rand", "version", "analysis",
+    # The fault harness and resilience primitives are deliberately
+    # content-agnostic (they never import a substrate), so any
+    # layer may depend on them.
+    "faults", "resilience",
+)
+
+#: Fully-qualified wall-clock reads banned outside ``repro.clock``.
+#: Shared between the per-file REP001 ban and the REP101 call-graph
+#: taint propagation.
+WALL_CLOCK_QUALNAMES = frozenset({
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+
+def layer_of(module: str) -> Optional[int]:
+    """The architectural layer of a dotted module name (None: external)."""
+    if module == "repro" or module in ("repro.cli", "repro.__main__"):
+        return 4
+    if not module.startswith("repro."):
+        return None
+    head = module.split(".")[1]
+    if head == "core":
+        return 3
+    if head == "workloads":
+        return 2
+    if head in SUBSTRATES:
+        return 1
+    if head in FOUNDATION:
+        return 0
+    return None
+
+
+def layer_name(layer: int) -> str:
+    """Human name for a layer index."""
+    return ("foundation", "substrate", "workloads", "core", "cli")[layer]
+
+
 @register
 class NoWallClock(Rule):
-    """REP001 — simulated time only; no wall-clock reads outside clock.py."""
+    """REP001 — simulated time only; no wall-clock reads outside clock.py.
+
+    Invariant:
+        Every timestamp in the pipeline comes from a
+        ``repro.clock.SimClock`` advanced by the workload, never from
+        the host's wall clock.
+
+    Why:
+        The paper's NXDomain measurements are time-bucketed; a run
+        whose timestamps depend on when the code executed can never
+        be reproduced bit-for-bit.
+
+    Good::
+
+        def ingest(records, clock):
+            stamp = clock.now()
+
+    Bad::
+
+        import time
+
+        def ingest(records):
+            stamp = time.time()
+    """
 
     rule_id = "REP001"
     severity = Severity.ERROR
@@ -97,7 +186,32 @@ class NoWallClock(Rule):
 
 @register
 class NoUnseededRandomness(Rule):
-    """REP002 — every stream derives from the seeded repro.rand factory."""
+    """REP002 — every stream derives from the seeded repro.rand factory.
+
+    Invariant:
+        All randomness flows through ``repro.rand`` — either
+        ``make_rng(seed)`` or a ``SeedSequenceFactory`` child — never
+        the stdlib ``random`` module or numpy's global state.
+
+    Why:
+        Global RNG state is shared mutable state: any import-order or
+        call-order change silently reshuffles every downstream draw,
+        which makes the synthetic query traces unreproducible.
+
+    Good::
+
+        from repro import rand
+
+        def sample(records, rng):
+            return rng.choice(len(records))
+
+    Bad::
+
+        import random
+
+        def sample(records):
+            return random.randrange(len(records))
+    """
 
     rule_id = "REP002"
     severity = Severity.ERROR
@@ -166,7 +280,30 @@ class NoUnseededRandomness(Rule):
 
 @register
 class RaisesDeriveFromReproError(Rule):
-    """REP003 — library raises use the ReproError hierarchy."""
+    """REP003 — library raises use the ReproError hierarchy.
+
+    Invariant:
+        Every exception raised by library code derives from
+        ``repro.errors.ReproError``; builtin classes like
+        ``ValueError`` are reserved for Python itself.
+
+    Why:
+        Callers distinguish "the pipeline rejected this input" from
+        "the interpreter broke" by catching ``ReproError``; a builtin
+        raise punches a hole in that contract.
+
+    Good::
+
+        from repro.errors import ConfigError
+
+        def parse(text):
+            raise ConfigError(f"bad zone file: {text!r}")
+
+    Bad::
+
+        def parse(text):
+            raise ValueError(f"bad zone file: {text!r}")
+    """
 
     rule_id = "REP003"
     severity = Severity.ERROR
@@ -205,7 +342,32 @@ class RaisesDeriveFromReproError(Rule):
 
 @register
 class NoBroadExcept(Rule):
-    """REP004 — no handler broad enough to swallow ReproError silently."""
+    """REP004 — no handler broad enough to swallow ReproError silently.
+
+    Invariant:
+        No ``except:`` or ``except Exception:`` block that does not
+        re-raise; handlers name the specific error classes they can
+        actually recover from.
+
+    Why:
+        A broad handler swallows ``ReproError`` — including the
+        determinism violations the rest of this linter exists to
+        surface — and converts a loud failure into silent bad data.
+
+    Good::
+
+        try:
+            record = parse(line)
+        except ParseError:
+            skipped += 1
+
+    Bad::
+
+        try:
+            record = parse(line)
+        except Exception:
+            pass
+    """
 
     rule_id = "REP004"
     severity = Severity.ERROR
@@ -244,7 +406,29 @@ class NoBroadExcept(Rule):
 
 @register
 class ImportLayering(Rule):
-    """REP005 — the dependency DAG flows one way."""
+    """REP005 — the dependency DAG flows one way.
+
+    Invariant:
+        Imports point toward the foundation: foundation < substrates
+        < workloads < core < cli, and nothing imports ``repro.cli``.
+        ``if TYPE_CHECKING:`` imports are type-only edges and are
+        exempt.
+
+    Why:
+        Substrates (dns, whois, honeypot, ...) stay independently
+        testable only while they cannot reach upward; one upward
+        import couples every layer above it into the import cycle.
+
+    Good::
+
+        # in repro/core/pipeline.py
+        from repro.dns import cache
+
+    Bad::
+
+        # in repro/dns/cache.py
+        from repro.core import pipeline
+    """
 
     rule_id = "REP005"
     severity = Severity.ERROR
@@ -254,21 +438,13 @@ class ImportLayering(Rule):
     )
     node_types = (ast.Import, ast.ImportFrom)
 
-    _SUBSTRATES = (
-        "dns", "whois", "passivedns", "honeypot", "blocklist",
-        "dga", "squatting",
-    )
-    _FOUNDATION = (
-        "errors", "clock", "rand", "version", "analysis",
-        # The fault harness and resilience primitives are deliberately
-        # content-agnostic (they never import a substrate), so any
-        # layer may depend on them.
-        "faults", "resilience",
-    )
-
     def visit(self, node: ast.AST, ctx) -> Iterable[Finding]:
         source_layer = self._layer(ctx.module)
         if source_layer is None:
+            return
+        if _inside_type_checking_block(node, ctx):
+            # Type-only imports never execute; they are not layering
+            # edges (satellite fix: REP005 used to flag these).
             return
         for target in self._targets(node, ctx.module):
             if target in ("repro.cli", "repro.__main__"):
@@ -306,30 +482,38 @@ class ImportLayering(Rule):
             module = ".".join(base + ([module] if module else []))
         yield module
 
-    def _layer(self, module: str) -> Optional[int]:
-        if module == "repro" or module in ("repro.cli", "repro.__main__"):
-            return 4
-        if not module.startswith("repro."):
-            return None
-        head = module.split(".")[1]
-        if head == "core":
-            return 3
-        if head == "workloads":
-            return 2
-        if head in self._SUBSTRATES:
-            return 1
-        if head in self._FOUNDATION:
-            return 0
-        return None
+    @staticmethod
+    def _layer(module: str) -> Optional[int]:
+        return layer_of(module)
 
     @staticmethod
     def _layer_name(layer: int) -> str:
-        return ("foundation", "substrate", "workloads", "core", "cli")[layer]
+        return layer_name(layer)
 
 
 @register
 class NoMutableDefaults(Rule):
-    """REP006 — default argument values must be immutable."""
+    """REP006 — default argument values must be immutable.
+
+    Invariant:
+        No function parameter defaults to ``[]``, ``{}``, ``set()``,
+        or any other mutable constructed once at definition time.
+
+    Why:
+        A mutable default is evaluated once and shared across calls;
+        state leaks between invocations and results depend on call
+        history — the opposite of a reproducible pipeline stage.
+
+    Good::
+
+        def collect(records, sink=None):
+            sink = [] if sink is None else sink
+
+    Bad::
+
+        def collect(records, sink=[]):
+            sink.extend(records)
+    """
 
     rule_id = "REP006"
     severity = Severity.ERROR
@@ -367,7 +551,27 @@ class NoMutableDefaults(Rule):
 
 @register
 class OrderedReportIteration(Rule):
-    """REP007 — report code orders its iteration explicitly."""
+    """REP007 — report code orders its iteration explicitly.
+
+    Invariant:
+        In report/figure code, every set or dict-view iteration that
+        can feed output passes through ``sorted(...)``.
+
+    Why:
+        Set and dict iteration order is hash- and insertion-dependent;
+        two identical runs would emit tables and figures with rows in
+        different orders, breaking diff-based verification.
+
+    Good::
+
+        for domain in sorted(counts.keys()):
+            emit(domain, counts[domain])
+
+    Bad::
+
+        for domain in counts.keys():
+            emit(domain, counts[domain])
+    """
 
     rule_id = "REP007"
     severity = Severity.ERROR
@@ -415,7 +619,28 @@ class OrderedReportIteration(Rule):
 
 @register
 class PublicApiDocumented(Rule):
-    """REP008 — public functions are documented or typed."""
+    """REP008 — public functions are documented or typed.
+
+    Invariant:
+        Every module-level public function (and public method of a
+        public top-level class) carries a docstring or a return
+        annotation.
+
+    Why:
+        The reproduction is grown across many sessions by different
+        authors; an undocumented public surface forces each one to
+        reverse-engineer intent from call sites.
+
+    Good::
+
+        def bucket(stamp) -> int:
+            return int(stamp) // 3600
+
+    Bad::
+
+        def bucket(stamp):
+            return int(stamp) // 3600
+    """
 
     rule_id = "REP008"
     severity = Severity.WARNING

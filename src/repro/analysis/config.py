@@ -33,6 +33,11 @@ DEFAULT_EXCLUDE = ("examples/*", "benchmarks/*", "tests/*", "*.egg-info/*")
 DEFAULT_BASELINE = "analysis-baseline.json"
 #: Modules whose output ordering REP007 audits by default.
 DEFAULT_REPORT_PATHS = ("src/repro/core/reports.py",)
+#: Trees scanned (but not linted) so whole-program rules such as
+#: REP104 can see references from outside ``src/repro``.
+DEFAULT_REFERENCE_PATHS = ("tests", "benchmarks", "examples")
+#: Per-file results cache written next to pyproject.toml.
+DEFAULT_CACHE = ".repro-analysis-cache.json"
 
 
 @dataclass
@@ -47,6 +52,10 @@ class AnalysisConfig:
     report_paths: List[str] = field(
         default_factory=lambda: list(DEFAULT_REPORT_PATHS)
     )
+    reference_paths: List[str] = field(
+        default_factory=lambda: list(DEFAULT_REFERENCE_PATHS)
+    )
+    cache_path: str = DEFAULT_CACHE
     severity_overrides: Dict[str, Severity] = field(default_factory=dict)
 
     def enabled_rule_ids(self, registered: Sequence[str]) -> List[str]:
@@ -90,6 +99,10 @@ def load_config(root: Path) -> AnalysisConfig:
         config.baseline_path = str(table["baseline"])
     if "report-paths" in table:
         config.report_paths = _str_list(table, "report-paths")
+    if "reference-paths" in table:
+        config.reference_paths = _str_list(table, "reference-paths")
+    if "cache" in table:
+        config.cache_path = str(table["cache"])
     severity = table.get("severity", {})
     if not isinstance(severity, dict):
         raise ConfigError("[tool.repro.analysis.severity] must be a table")

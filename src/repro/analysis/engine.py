@@ -1,9 +1,20 @@
-"""The single-pass analysis engine.
+"""The two-pass analysis engine.
 
-For every Python file under the configured paths the engine parses the
-source once, walks the tree once, and dispatches each node to the rules
-that registered interest in its type.  Suppressions are ordinary
-comments::
+Pass one (per file): for every Python file under the configured paths
+the engine parses the source once, walks the tree once, and dispatches
+each node to the rules that registered interest in its type, while
+simultaneously extracting the module's whole-program facts (a
+:class:`~repro.analysis.project.ModuleSummary`).  Pass two (whole
+program): the summaries are assembled into a
+:class:`~repro.analysis.project.ProjectModel` and handed to the
+flow-sensitive REP10x rules.
+
+The per-file pass is embarrassingly parallel (``jobs > 1`` fans it out
+over a process pool) and cacheable (an :class:`AnalysisCache` keyed by
+content hash skips unchanged files; the whole-program pass is then
+recomputed only for the dirty modules' dependency cone).
+
+Suppressions are ordinary comments::
 
     value = fetch()  # repro: noqa[REP007] insertion order is the axis order
 
@@ -15,6 +26,7 @@ An unknown rule id inside the brackets is itself reported as
 from __future__ import annotations
 
 import ast
+import concurrent.futures
 import io
 import re
 import tokenize
@@ -22,8 +34,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis import cache as cache_mod
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.findings import META_RULE_ID, Finding, Severity
+from repro.analysis.project import ModuleSummary, ProjectModel, summarize_module
 from repro.analysis.rules import Rule
 
 #: Sentinel stored in the noqa map when a bare ``# repro: noqa``
@@ -140,14 +154,65 @@ def _build_parents(tree: ast.Module) -> Dict[int, ast.AST]:
     return parents
 
 
+def reference_module_name(relpath: str) -> str:
+    """Unique dotted name for a reference-scope file.
+
+    Reference trees (tests, benchmarks, examples) contain many files
+    with colliding stems (``conftest.py``, ``__init__.py``), so their
+    module names derive from the full repo-relative path — two
+    distinct files can never shadow each other's facts in the model.
+    """
+    parts = list(Path(relpath).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+@dataclass
+class _FileResult:
+    """Per-file outcome: lint findings plus whole-program facts."""
+
+    findings: List[Finding] = field(default_factory=list)
+    summary: Optional[Dict[str, object]] = None
+
+
+#: Per-process analyzer reused across items of a parallel run.
+_WORKER_ANALYZER: Dict[str, object] = {}
+
+
+def _analyze_in_worker(item: Tuple) -> Tuple:
+    """Process-pool entry point for one file of the per-file pass."""
+    relpath, source, lint, config, rule_ids, want_summary = item
+    from repro.analysis.rules import instantiate
+
+    key = tuple(rule_ids)
+    analyzer = _WORKER_ANALYZER.get("analyzer")
+    if analyzer is None or _WORKER_ANALYZER.get("key") != key:
+        analyzer = Analyzer(config, instantiate(rule_ids))
+        _WORKER_ANALYZER["analyzer"] = analyzer
+        _WORKER_ANALYZER["key"] = key
+    findings, summary = analyzer.check_source_and_summary(
+        source, relpath, lint=lint, want_summary=want_summary
+    )
+    return relpath, [f.to_json() for f in findings], summary
+
+
 class Analyzer:
-    """Walks a file set once and dispatches nodes to rules."""
+    """Runs the per-file pass and the whole-program pass over a tree."""
 
     def __init__(self, config: AnalysisConfig, rules: Sequence[Rule]) -> None:
         self.config = config
         self.rules = list(rules)
+        self.file_rules = [
+            rule for rule in self.rules if not rule.is_project_rule
+        ]
+        self.project_rules = [
+            rule for rule in self.rules if rule.is_project_rule
+        ]
         self._dispatch: Dict[type, List[Rule]] = {}
-        for rule in self.rules:
+        for rule in self.file_rules:
             for node_type in rule.node_types:
                 self._dispatch.setdefault(node_type, []).append(rule)
 
@@ -156,22 +221,191 @@ class Analyzer:
         root: Path,
         paths: Sequence[Path],
         honor_excludes: bool = True,
+        jobs: int = 1,
+        cache: Optional[cache_mod.AnalysisCache] = None,
     ) -> List[Finding]:
         """Analyze every file and return findings sorted by location.
 
         ``honor_excludes=False`` disables the configured exclude
         patterns — used when the caller named the paths explicitly, so
         an ``examples/*`` exclude cannot silently turn an explicit
-        ``lint examples`` into a no-op.
+        ``lint examples`` into a no-op.  ``jobs > 1`` fans the
+        per-file pass out over a process pool; ``cache`` (an
+        :class:`~repro.analysis.cache.AnalysisCache`) skips files
+        whose content hash is unchanged and limits the whole-program
+        recomputation to the dirty modules' dependency cone.
         """
+        lint_files = list(self._iter_files(root, paths, honor_excludes))
+        reference_files = self._iter_reference_files(root, lint_files)
+        want_summary = bool(self.project_rules)
+
+        results: Dict[str, _FileResult] = {}
+        dirty_modules: Set[str] = set()
+        pending: List[Tuple[str, str, bool, str]] = []
+        for path, lint in [(p, True) for p in lint_files] + [
+            (p, False) for p in reference_files
+        ]:
+            relpath = self._relpath(root, path)
+            try:
+                source = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as exc:
+                if lint:
+                    results[relpath] = _FileResult(
+                        [self._meta(relpath, 1, f"unreadable file: {exc}")]
+                    )
+                continue
+            digest = cache_mod.content_hash(source)
+            entry = cache.lookup(relpath, digest, lint=lint) if cache else None
+            if entry is not None:
+                results[relpath] = _FileResult(
+                    list(entry.findings) if lint else [], entry.summary
+                )
+            else:
+                pending.append((relpath, source, lint, digest))
+
+        for relpath, findings, summary, digest, lint in self._analyze_pending(
+            pending, jobs, want_summary
+        ):
+            results[relpath] = _FileResult(findings if lint else [], summary)
+            if cache is not None:
+                cache.store(relpath, digest, findings, summary, lint=lint)
+            if summary is not None:
+                dirty_modules.add(str(summary["module"]))
+            else:
+                # Unparseable files poison incremental reuse safely:
+                # treat them as dirtying everything they might define.
+                dirty_modules.add(module_name_for(Path(relpath)))
+
         findings: List[Finding] = []
-        for path in self._iter_files(root, paths, honor_excludes):
-            findings.extend(self.check_file(root, path))
+        for result in results.values():
+            findings.extend(result.findings)
+        if self.project_rules:
+            findings.extend(
+                self._program_pass(results, dirty_modules, cache)
+            )
+        if cache is not None:
+            cache.prune(sorted(results))
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
         return findings
 
+    def _iter_reference_files(
+        self, root: Path, lint_files: Sequence[Path]
+    ) -> List[Path]:
+        """Files scanned for references only (no per-file findings)."""
+        if not self.project_rules:
+            return []
+        seen = {path.resolve() for path in lint_files}
+        out: List[Path] = []
+        for ref in self.config.reference_paths:
+            ref_root = root / ref
+            if not ref_root.is_dir():
+                continue
+            for candidate in sorted(ref_root.rglob("*.py")):
+                resolved = candidate.resolve()
+                if resolved not in seen:
+                    seen.add(resolved)
+                    out.append(candidate)
+        return out
+
+    def _analyze_pending(
+        self,
+        pending: Sequence[Tuple[str, str, bool, str]],
+        jobs: int,
+        want_summary: bool,
+    ) -> Iterable[Tuple[str, List[Finding], Optional[Dict], str, bool]]:
+        """Run the per-file pass over cache misses, serially or fanned out."""
+        if jobs <= 1 or len(pending) < 2:
+            for relpath, source, lint, digest in pending:
+                findings, summary = self.check_source_and_summary(
+                    source, relpath, lint=lint, want_summary=want_summary
+                )
+                yield relpath, findings, summary, digest, lint
+            return
+        rule_ids = sorted(rule.rule_id for rule in self.file_rules)
+        items = [
+            (relpath, source, lint, self.config, rule_ids, want_summary)
+            for relpath, source, lint, digest in pending
+        ]
+        meta = {
+            relpath: (digest, lint)
+            for relpath, source, lint, digest in pending
+        }
+        with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+            chunk = max(1, len(items) // (jobs * 4))
+            for relpath, raw_findings, summary in pool.map(
+                _analyze_in_worker, items, chunksize=chunk
+            ):
+                digest, lint = meta[relpath]
+                findings = [Finding.from_json(f) for f in raw_findings]
+                yield relpath, findings, summary, digest, lint
+
+    def _program_pass(
+        self,
+        results: Dict[str, _FileResult],
+        dirty_modules: Set[str],
+        cache: Optional[cache_mod.AnalysisCache],
+    ) -> List[Finding]:
+        """Run the whole-program rules over the assembled model.
+
+        When a cache with a valid prior project pass is present, only
+        the dirty modules' dependency cone is recomputed for
+        cone-scoped rules; global-scope rules (reference scans) are
+        recomputed whenever anything changed at all.
+        """
+        summaries = [
+            ModuleSummary.from_json(result.summary)
+            for result in results.values()
+            if result.summary is not None
+        ]
+        model = ProjectModel(summaries)
+        cached_valid = cache is not None and cache.program_valid
+        if not dirty_modules and cached_valid:
+            by_module = {
+                module: list(findings)
+                for module, findings in cache.program_findings.items()
+                if module in model.modules
+            }
+        else:
+            by_module = {}
+            affected = model.dependency_cone(dirty_modules)
+            if cached_valid:
+                global_ids = {
+                    rule.rule_id
+                    for rule in self.project_rules
+                    if rule.global_scope
+                }
+                for module, findings in cache.program_findings.items():
+                    if module in model.modules and module not in affected:
+                        kept = [
+                            f for f in findings if f.rule_id not in global_ids
+                        ]
+                        if kept:
+                            by_module[module] = kept
+            else:
+                affected = set(model.modules)
+            path_to_module = {
+                summary.relpath: summary.module for summary in summaries
+            }
+            for rule in self.project_rules:
+                scope = None if rule.global_scope else sorted(affected)
+                for finding in rule.check(model, self.config, modules=scope):
+                    module = path_to_module.get(finding.path, finding.path)
+                    if model.is_suppressed(module, finding.line, rule.rule_id):
+                        continue
+                    by_module.setdefault(module, []).append(finding)
+        if cache is not None:
+            cache.program_findings = {
+                module: list(findings)
+                for module, findings in by_module.items()
+            }
+            cache.program_valid = True
+        out: List[Finding] = []
+        for module in sorted(by_module):
+            out.extend(by_module[module])
+        return out
+
     def check_file(self, root: Path, path: Path) -> List[Finding]:
-        """Analyze one file."""
+        """Analyze one file (per-file rules only)."""
         relpath = self._relpath(root, path)
         try:
             source = path.read_text(encoding="utf-8")
@@ -180,23 +414,64 @@ class Analyzer:
         return self.check_source(source, relpath)
 
     def check_source(self, source: str, relpath: str) -> List[Finding]:
-        """Analyze source text as though read from ``relpath``."""
+        """Analyze source text as though read from ``relpath``.
+
+        Runs the per-file rules only; whole-program rules need the
+        project context and run in :meth:`run` (or
+        :meth:`check_project_sources`).
+        """
+        findings, _ = self.check_source_and_summary(
+            source, relpath, lint=True, want_summary=False
+        )
+        return findings
+
+    def check_source_and_summary(
+        self,
+        source: str,
+        relpath: str,
+        lint: bool = True,
+        want_summary: bool = False,
+    ) -> Tuple[List[Finding], Optional[Dict[str, object]]]:
+        """Per-file findings plus (optionally) the module summary.
+
+        ``lint=False`` skips rule dispatch entirely — used for
+        reference-scope files that only contribute whole-program
+        facts.  The summary is returned in its JSON form so it can go
+        straight into the results cache.
+        """
         try:
             tree = ast.parse(source)
         except SyntaxError as exc:
-            return [self._meta(relpath, exc.lineno or 1, f"syntax error: {exc.msg}")]
+            if not lint:
+                return [], None
+            return (
+                [self._meta(relpath, exc.lineno or 1, f"syntax error: {exc.msg}")],
+                None,
+            )
         noqa_map, unknown = parse_noqa(source)
+        module = (
+            module_name_for(Path(relpath))
+            if lint
+            else reference_module_name(relpath)
+        )
+        summary: Optional[Dict[str, object]] = None
+        if want_summary:
+            summary = summarize_module(
+                tree, module, relpath, noqa=noqa_map
+            ).to_json()
+        if not lint:
+            return [], summary
         ctx = ModuleContext(
             path=Path(relpath),
             relpath=relpath,
-            module=module_name_for(Path(relpath)),
+            module=module,
             tree=tree,
             source=source,
             config=self.config,
             noqa=noqa_map,
         )
         ctx._parents = _build_parents(tree)
-        active = [rule for rule in self.rules if rule.applies_to(ctx)]
+        active = [rule for rule in self.file_rules if rule.applies_to(ctx)]
         active_ids = {rule.rule_id for rule in active}
         findings: List[Finding] = []
         for line, rule_id in unknown:
@@ -214,6 +489,32 @@ class Analyzer:
                 for finding in rule.visit(node, ctx):
                     if not ctx.is_suppressed(finding):
                         findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        return findings, summary
+
+    def check_project_sources(
+        self, sources: Dict[str, str]
+    ) -> List[Finding]:
+        """Analyze an in-memory ``{relpath: source}`` project (tests).
+
+        Runs both passes — per-file rules on every file, then the
+        whole-program rules over the assembled model — without
+        touching the filesystem.
+        """
+        results: Dict[str, _FileResult] = {}
+        for relpath in sorted(sources):
+            findings, summary = self.check_source_and_summary(
+                sources[relpath],
+                relpath,
+                lint=not self.config.is_excluded(relpath),
+                want_summary=True,
+            )
+            results[relpath] = _FileResult(findings, summary)
+        findings = [f for r in results.values() for f in r.findings]
+        if self.project_rules:
+            findings.extend(
+                self._program_pass(results, set(), cache=None)
+            )
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
         return findings
 

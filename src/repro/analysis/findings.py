@@ -12,6 +12,12 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict
 
+#: Version of the analyzer proper (engine + rule semantics).  Bumped on
+#: any change that can alter the finding set for unchanged source, it
+#: keys both the on-disk results cache and the JSON payload header so
+#: baselines can detect rule-set drift.
+ANALYZER_VERSION = "2.0.0"
+
 
 class Severity(enum.Enum):
     """How a finding affects the lint exit code.
@@ -73,6 +79,19 @@ class Finding:
             "message": self.message,
             "baselined": self.baselined,
         }
+
+    @classmethod
+    def from_json(cls, entry: Dict[str, object]) -> "Finding":
+        """Rebuild a finding from :meth:`to_json` output (cache reads)."""
+        return cls(
+            rule_id=str(entry["rule"]),
+            severity=Severity.parse(str(entry["severity"])),
+            path=str(entry["path"]),
+            line=int(entry["line"]),  # type: ignore[arg-type]
+            col=int(entry["col"]),  # type: ignore[arg-type]
+            message=str(entry["message"]),
+            baselined=bool(entry.get("baselined", False)),
+        )
 
     def render(self) -> str:
         """One-line ``path:line:col`` text rendering."""

@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.analysis import baseline as baseline_mod
+from repro.analysis import cache as cache_mod
 from repro.analysis import report as report_mod
 from repro.analysis import rules as rules_mod
 from repro.analysis.config import AnalysisConfig, load_config
@@ -69,6 +70,23 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print every registered rule and exit",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="print a rule's invariant, rationale, and examples, then exit",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the per-file pass out over N worker processes",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the incremental results cache",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -98,6 +116,15 @@ def _run_lint(args: argparse.Namespace) -> int:
                 f"{rule_cls.description}"
             )
         return 0
+    if args.explain:
+        print(rules_mod.explain(args.explain.strip().upper()))
+        return 0
+    if args.jobs < 1:
+        print(
+            "repro.analysis: error: --jobs must be at least 1",
+            file=sys.stderr,
+        )
+        return 2
 
     root = Path(args.root)
     config = load_config(root)
@@ -121,7 +148,23 @@ def _run_lint(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    findings = analyzer.run(root, paths, honor_excludes=not args.paths)
+    # The cache models the *configured* scan scope; an explicit-path
+    # run would prune it down to the named files and poison the next
+    # full run, so caching only applies to default-scope invocations.
+    cache: Optional[cache_mod.AnalysisCache] = None
+    cache_file = root / config.cache_path
+    if not args.no_cache and not args.paths:
+        signature = cache_mod.ruleset_signature(config, rule_ids)
+        cache = cache_mod.load_cache(cache_file, signature)
+    findings = analyzer.run(
+        root,
+        paths,
+        honor_excludes=not args.paths,
+        jobs=args.jobs,
+        cache=cache,
+    )
+    if cache is not None:
+        cache_mod.save_cache(cache_file, cache)
 
     baseline_file = root / config.baseline_path
     if args.update_baseline:
@@ -141,7 +184,7 @@ def _run_lint(args: argparse.Namespace) -> int:
         reported = new + known
 
     if args.format == "json":
-        print(report_mod.render_json(reported))
+        print(report_mod.render_json(reported, rules=rule_ids))
     else:
         print(report_mod.render_text(reported))
     failing = [

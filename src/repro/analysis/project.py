@@ -1,0 +1,732 @@
+"""The whole-program project model.
+
+Per-file AST rules cannot see a wall-clock read or an unseeded RNG
+laundered through a helper two modules away.  This module builds the
+facts that make such flows visible:
+
+- a :class:`ModuleSummary` per file — bindings (what each local name
+  resolves to), definitions, call sites, exports, references, and
+  dynamic-import sites — produced by **one** AST walk and cheap enough
+  to serialize into the results cache;
+- a :class:`ProjectModel` over all summaries — resolved qualified
+  names, the intra-project call graph, the module import graph, taint
+  propagation (which functions transitively reach a given sink), and
+  the dependency cone used for incremental re-analysis.
+
+Summaries are pure data (JSON round-trippable), so a warm run rebuilds
+the whole model without re-parsing a single unchanged file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Marker used as the caller of module-level (top-level) call sites.
+MODULE_SCOPE = "<module>"
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    name: str
+    lineno: int
+    col: int
+    public: bool
+    decorated: bool = False
+    nested: bool = False
+    is_method: bool = False
+    params: List[str] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, object]:
+        """Serializable form for the results cache."""
+        return {
+            "qualname": self.qualname,
+            "name": self.name,
+            "lineno": self.lineno,
+            "col": self.col,
+            "public": self.public,
+            "decorated": self.decorated,
+            "nested": self.nested,
+            "is_method": self.is_method,
+            "params": list(self.params),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "FunctionInfo":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(**data)  # type: ignore[arg-type]
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function (or at module level)."""
+
+    caller: str
+    callee_expr: str
+    lineno: int
+    col: int
+    #: Shape of the first positional (or ``seed=``) argument:
+    #: ``"none"`` (no args), ``"const:<value>"`` for literals,
+    #: ``"param:<name>"`` when it names a parameter of the caller,
+    #: ``"name:<id>"`` for any other bare name, ``"other"`` otherwise.
+    arg0: str = "other"
+
+    def to_json(self) -> Dict[str, object]:
+        """Serializable form for the results cache."""
+        return {
+            "caller": self.caller,
+            "callee_expr": self.callee_expr,
+            "lineno": self.lineno,
+            "col": self.col,
+            "arg0": self.arg0,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "CallSite":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(**data)  # type: ignore[arg-type]
+
+
+@dataclass
+class ImportEdge:
+    """One import statement (static or ``TYPE_CHECKING``-guarded)."""
+
+    target: str
+    lineno: int
+    col: int
+    type_checking: bool = False
+    function_scope: bool = False
+
+    def to_json(self) -> Dict[str, object]:
+        """Serializable form for the results cache."""
+        return {
+            "target": self.target,
+            "lineno": self.lineno,
+            "col": self.col,
+            "type_checking": self.type_checking,
+            "function_scope": self.function_scope,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "ImportEdge":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(**data)  # type: ignore[arg-type]
+
+
+@dataclass
+class ModuleSummary:
+    """Whole-program facts extracted from one module in one AST walk."""
+
+    module: str
+    relpath: str
+    bindings: Dict[str, str] = field(default_factory=dict)
+    star_imports: List[str] = field(default_factory=list)
+    imports: List[ImportEdge] = field(default_factory=list)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    calls: List[CallSite] = field(default_factory=list)
+    module_assigns: List[CallSite] = field(default_factory=list)
+    const_globals: Dict[str, int] = field(default_factory=dict)
+    exports: List[str] = field(default_factory=list)
+    exports_lineno: int = 0
+    refs: List[str] = field(default_factory=list)
+    noqa: Dict[int, List[str]] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, object]:
+        """Serializable form for the results cache."""
+        return {
+            "module": self.module,
+            "relpath": self.relpath,
+            "bindings": dict(self.bindings),
+            "star_imports": list(self.star_imports),
+            "imports": [edge.to_json() for edge in self.imports],
+            "functions": {
+                name: info.to_json() for name, info in self.functions.items()
+            },
+            "calls": [call.to_json() for call in self.calls],
+            "module_assigns": [call.to_json() for call in self.module_assigns],
+            "const_globals": dict(self.const_globals),
+            "exports": list(self.exports),
+            "exports_lineno": self.exports_lineno,
+            "refs": list(self.refs),
+            "noqa": {str(line): ids for line, ids in self.noqa.items()},
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "ModuleSummary":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(
+            module=str(data["module"]),
+            relpath=str(data["relpath"]),
+            bindings=dict(data.get("bindings", {})),  # type: ignore[arg-type]
+            star_imports=list(data.get("star_imports", [])),  # type: ignore[arg-type]
+            imports=[
+                ImportEdge.from_json(e) for e in data.get("imports", [])  # type: ignore[union-attr]
+            ],
+            functions={
+                name: FunctionInfo.from_json(info)
+                for name, info in data.get("functions", {}).items()  # type: ignore[union-attr]
+            },
+            calls=[CallSite.from_json(c) for c in data.get("calls", [])],  # type: ignore[union-attr]
+            module_assigns=[
+                CallSite.from_json(c) for c in data.get("module_assigns", [])  # type: ignore[union-attr]
+            ],
+            const_globals=dict(data.get("const_globals", {})),  # type: ignore[arg-type]
+            exports=list(data.get("exports", [])),  # type: ignore[arg-type]
+            exports_lineno=int(data.get("exports_lineno", 0)),  # type: ignore[arg-type]
+            refs=list(data.get("refs", [])),  # type: ignore[arg-type]
+            noqa={
+                int(line): list(ids)
+                for line, ids in data.get("noqa", {}).items()  # type: ignore[union-attr]
+            },
+        )
+
+
+def _dotted_expr(node: ast.AST) -> Optional[str]:
+    """Dotted source text of a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_type_checking_test(test: ast.AST) -> bool:
+    """Whether an ``if`` test is the ``typing.TYPE_CHECKING`` guard."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+class _Summarizer(ast.NodeVisitor):
+    """Single-pass visitor building a :class:`ModuleSummary`."""
+
+    def __init__(self, module: str, relpath: str) -> None:
+        self.summary = ModuleSummary(module=module, relpath=relpath)
+        self._scope: List[str] = []
+        self._class_depth = 0
+        self._func_depth = 0
+        self._params: List[Set[str]] = []
+        self._type_checking_depth = 0
+
+    # -- scope bookkeeping -------------------------------------------------
+
+    def _qualname(self, name: str) -> str:
+        return ".".join([self.summary.module] + self._scope + [name])
+
+    def _caller(self) -> str:
+        if not self._scope or self._func_depth == 0:
+            return MODULE_SCOPE
+        return ".".join([self.summary.module] + self._scope)
+
+    # -- definitions -------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._handle_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._handle_function(node)
+
+    def _handle_function(self, node: ast.AST) -> None:
+        name = node.name
+        qualname = self._qualname(name)
+        public = not any(
+            part.startswith("_")
+            for part in qualname[len(self.summary.module) + 1:].split(".")
+        )
+        params = [arg.arg for arg in node.args.args]
+        params += [arg.arg for arg in node.args.posonlyargs]
+        params += [arg.arg for arg in node.args.kwonlyargs]
+        info = FunctionInfo(
+            qualname=qualname,
+            name=name,
+            lineno=node.lineno,
+            col=node.col_offset + 1,
+            public=public,
+            decorated=bool(node.decorator_list),
+            nested=self._func_depth > 0,
+            is_method=self._class_depth > 0 and self._func_depth == 0,
+            params=params,
+        )
+        self.summary.functions[qualname] = info
+        if not self._scope:
+            self.summary.bindings.setdefault(
+                name, f"{self.summary.module}.{name}"
+            )
+        self.summary.refs.append(name)
+        self._scope.append(name)
+        self._func_depth += 1
+        self._params.append(set(params))
+        self.generic_visit(node)
+        self._params.pop()
+        self._func_depth -= 1
+        self._scope.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if not self._scope:
+            self.summary.bindings.setdefault(
+                node.name, f"{self.summary.module}.{node.name}"
+            )
+        self.summary.refs.append(node.name)
+        self._scope.append(node.name)
+        self._class_depth += 1
+        self.generic_visit(node)
+        self._class_depth -= 1
+        self._scope.pop()
+
+    # -- imports -----------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            target = alias.name
+            self.summary.refs.append(target.split(".")[-1])
+            if alias.asname:
+                self.summary.bindings[alias.asname] = target
+            else:
+                # `import a.b` binds `a`; attribute walks resolve the rest.
+                head = target.split(".")[0]
+                self.summary.bindings.setdefault(head, head)
+            self.summary.imports.append(
+                ImportEdge(
+                    target=target,
+                    lineno=node.lineno,
+                    col=node.col_offset + 1,
+                    type_checking=self._type_checking_depth > 0,
+                    function_scope=self._func_depth > 0,
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        base = self._resolve_relative(node)
+        for alias in node.names:
+            if alias.name == "*":
+                self.summary.star_imports.append(base)
+                continue
+            self.summary.refs.append(alias.name)
+            local = alias.asname or alias.name
+            self.summary.bindings[local] = f"{base}.{alias.name}" if base else alias.name
+        self.summary.imports.append(
+            ImportEdge(
+                target=base,
+                lineno=node.lineno,
+                col=node.col_offset + 1,
+                type_checking=self._type_checking_depth > 0,
+                function_scope=self._func_depth > 0,
+            )
+        )
+        self.generic_visit(node)
+
+    def _resolve_relative(self, node: ast.ImportFrom) -> str:
+        module = node.module or ""
+        if not node.level:
+            return module
+        base = self.summary.module.split(".")
+        base = base[: len(base) - node.level] or base[:1]
+        return ".".join(base + ([module] if module else []))
+
+    def visit_If(self, node: ast.If) -> None:
+        if _is_type_checking_test(node.test):
+            self._type_checking_depth += 1
+            for stmt in node.body:
+                self.visit(stmt)
+            self._type_checking_depth -= 1
+            for stmt in node.orelse:
+                self.visit(stmt)
+            if isinstance(node.test, (ast.Name, ast.Attribute)):
+                self._record_ref_expr(node.test)
+            return
+        self.generic_visit(node)
+
+    # -- calls and assignments --------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = _dotted_expr(node.func)
+        if callee is not None:
+            self.summary.calls.append(
+                CallSite(
+                    caller=self._caller(),
+                    callee_expr=callee,
+                    lineno=node.lineno,
+                    col=node.col_offset + 1,
+                    arg0=self._arg0_kind(node),
+                )
+            )
+        self.generic_visit(node)
+
+    def _arg0_kind(self, node: ast.Call) -> str:
+        arg: Optional[ast.AST] = node.args[0] if node.args else None
+        if arg is None:
+            for keyword in node.keywords:
+                if keyword.arg in ("seed", "name"):
+                    arg = keyword.value
+                    break
+        if arg is None:
+            return "none" if not node.keywords else "other"
+        if isinstance(arg, ast.Constant) and isinstance(
+            arg.value, (int, str, float)
+        ):
+            return f"const:{arg.value}"
+        if isinstance(arg, ast.Name):
+            if self._params and arg.id in self._params[-1]:
+                return f"param:{arg.id}"
+            return f"name:{arg.id}"
+        return "other"
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if not self._scope:
+            self._record_module_assign(node.targets, node.value, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if not self._scope and node.value is not None:
+            self._record_module_assign([node.target], node.value, node)
+        self.generic_visit(node)
+
+    def _record_module_assign(
+        self, targets: Sequence[ast.AST], value: ast.AST, node: ast.AST
+    ) -> None:
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        if not names:
+            return
+        if names == ["__all__"] and isinstance(value, (ast.List, ast.Tuple)):
+            self.summary.exports = [
+                elt.value
+                for elt in value.elts
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            ]
+            self.summary.exports_lineno = node.lineno
+            return
+        if isinstance(value, ast.Constant) and isinstance(
+            value.value, (int, float, str)
+        ):
+            for name in names:
+                self.summary.const_globals[name] = node.lineno
+            return
+        if isinstance(value, ast.Call):
+            callee = _dotted_expr(value.func)
+            if callee is not None:
+                for name in names:
+                    self.summary.module_assigns.append(
+                        CallSite(
+                            caller=name,
+                            callee_expr=callee,
+                            lineno=node.lineno,
+                            col=node.col_offset + 1,
+                            arg0="other",
+                        )
+                    )
+
+    # -- references --------------------------------------------------------
+
+    def visit_Name(self, node: ast.Name) -> None:
+        self.summary.refs.append(node.id)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self.summary.refs.append(node.attr)
+        self.generic_visit(node)
+
+    def _record_ref_expr(self, node: ast.AST) -> None:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name):
+                self.summary.refs.append(child.id)
+            elif isinstance(child, ast.Attribute):
+                self.summary.refs.append(child.attr)
+
+
+def summarize_module(
+    tree: ast.Module,
+    module: str,
+    relpath: str,
+    noqa: Optional[Dict[int, Iterable[str]]] = None,
+) -> ModuleSummary:
+    """Build a :class:`ModuleSummary` from a parsed module."""
+    visitor = _Summarizer(module, relpath)
+    visitor.visit(tree)
+    summary = visitor.summary
+    summary.refs = sorted(set(summary.refs))
+    if noqa:
+        summary.noqa = {
+            int(line): sorted(ids) for line, ids in noqa.items()
+        }
+    return summary
+
+
+class ProjectModel:
+    """Resolved whole-program view over a set of module summaries."""
+
+    def __init__(self, summaries: Iterable[ModuleSummary]) -> None:
+        self.modules: Dict[str, ModuleSummary] = {}
+        for summary in summaries:
+            self.modules[summary.module] = summary
+        self._resolution_cache: Dict[Tuple[str, str], Optional[str]] = {}
+        self._call_graph: Optional[Dict[str, Set[str]]] = None
+        self._reverse_calls: Optional[Dict[str, Set[str]]] = None
+        self._import_graph: Optional[Dict[str, Set[str]]] = None
+
+    # -- name resolution ---------------------------------------------------
+
+    def module_of(self, qualname: str) -> Optional[str]:
+        """The defining module of a qualified name (longest prefix)."""
+        parts = qualname.split(".")
+        for end in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:end])
+            if candidate in self.modules:
+                return candidate
+        return None
+
+    def resolve(self, module: str, dotted: str) -> Optional[str]:
+        """Resolve a dotted expression in ``module`` to a qualified name.
+
+        Follows import bindings (including aliases and re-exports
+        through package ``__init__`` modules) and ``from x import *``.
+        Returns ``None`` when the head name is unknown (builtins,
+        locals, call results).
+        """
+        key = (module, dotted)
+        if key in self._resolution_cache:
+            return self._resolution_cache[key]
+        result = self._resolve_uncached(module, dotted, seen=set())
+        self._resolution_cache[key] = result
+        return result
+
+    def _resolve_uncached(
+        self, module: str, dotted: str, seen: Set[Tuple[str, str]]
+    ) -> Optional[str]:
+        if (module, dotted) in seen:
+            return None
+        seen.add((module, dotted))
+        summary = self.modules.get(module)
+        if summary is None:
+            return dotted
+        head, _, rest = dotted.partition(".")
+        target: Optional[str] = None
+        if head in summary.bindings:
+            target = summary.bindings[head]
+        else:
+            for star_target in summary.star_imports:
+                star_summary = self.modules.get(star_target)
+                if star_summary is None:
+                    continue
+                visible = (
+                    set(star_summary.exports)
+                    if star_summary.exports
+                    else {
+                        name
+                        for name in star_summary.bindings
+                        if not name.startswith("_")
+                    }
+                )
+                if head in visible:
+                    target = f"{star_target}.{head}"
+                    break
+        if target is None:
+            return None
+        full = f"{target}.{rest}" if rest else target
+        return self._canonicalize(full, seen)
+
+    def _canonicalize(
+        self, qualname: str, seen: Set[Tuple[str, str]]
+    ) -> str:
+        """Follow re-export chains: ``pkg.Name`` -> ``pkg.impl.Name``."""
+        owner = self.module_of(qualname)
+        if owner is None or owner == qualname:
+            return qualname
+        remainder = qualname[len(owner) + 1:]
+        summary = self.modules[owner]
+        head = remainder.split(".")[0]
+        if f"{owner}.{head}" in summary.functions:
+            return qualname
+        if head in summary.bindings:
+            followed = self._resolve_uncached(owner, remainder, seen)
+            if followed is not None:
+                return followed
+        return qualname
+
+    # -- call graph --------------------------------------------------------
+
+    def resolve_call(self, summary: ModuleSummary, call: CallSite) -> Optional[str]:
+        """Resolve one call site to a qualified callee name."""
+        expr = call.callee_expr
+        head, _, rest = expr.partition(".")
+        if call.caller != MODULE_SCOPE:
+            # Lexical scoping: a bare call inside a function may name a
+            # sibling or enclosing-scope definition before module scope.
+            caller_parts = call.caller.split(".")
+            for end in range(len(caller_parts), 0, -1):
+                candidate = ".".join(caller_parts[:end] + [expr])
+                if candidate in summary.functions:
+                    return candidate
+        if head in ("self", "cls") and rest and call.caller != MODULE_SCOPE:
+            # `self.helper()` inside module.Class.method -> module.Class.helper
+            caller_parts = call.caller.split(".")
+            if len(caller_parts) >= 2:
+                class_qualname = ".".join(caller_parts[:-1])
+                candidate = f"{class_qualname}.{rest}"
+                if candidate in summary.functions:
+                    return candidate
+            return None
+        return self.resolve(summary.module, expr)
+
+    def call_graph(self) -> Dict[str, Set[str]]:
+        """Resolved edges: caller qualname -> set of callee qualnames.
+
+        Callees include intra-project functions and external dotted
+        names (e.g. ``time.time``); unresolvable calls are dropped.
+        Module-level call sites appear under ``<module name>`` itself
+        so taint can flow through import-time execution too.
+        """
+        if self._call_graph is not None:
+            return self._call_graph
+        graph: Dict[str, Set[str]] = {}
+        for module in sorted(self.modules):
+            summary = self.modules[module]
+            for call in summary.calls:
+                callee = self.resolve_call(summary, call)
+                if callee is None:
+                    continue
+                caller = (
+                    module if call.caller == MODULE_SCOPE else call.caller
+                )
+                graph.setdefault(caller, set()).add(callee)
+        self._call_graph = graph
+        return graph
+
+    def reverse_call_graph(self) -> Dict[str, Set[str]]:
+        """Resolved edges: callee qualname -> set of caller qualnames."""
+        if self._reverse_calls is not None:
+            return self._reverse_calls
+        reverse: Dict[str, Set[str]] = {}
+        for caller, callees in self.call_graph().items():
+            for callee in callees:
+                reverse.setdefault(callee, set()).add(caller)
+        self._reverse_calls = reverse
+        return reverse
+
+    def tainted_from(
+        self, sinks: Iterable[str]
+    ) -> Dict[str, List[str]]:
+        """Functions transitively reaching any sink, with witness chains.
+
+        Returns ``{qualname: [qualname, ..., sink]}`` — for every
+        function that can reach a sink through the call graph, one
+        deterministic (lexicographically first) witness path.
+        """
+        reverse = self.reverse_call_graph()
+        chains: Dict[str, List[str]] = {}
+        frontier: List[str] = []
+        for sink in sorted(set(sinks)):
+            if sink in reverse:
+                chains[sink] = [sink]
+                frontier.append(sink)
+        while frontier:
+            frontier.sort()
+            next_frontier: List[str] = []
+            for node in frontier:
+                for caller in sorted(reverse.get(node, ())):
+                    if caller in chains:
+                        continue
+                    chains[caller] = [caller] + chains[node]
+                    next_frontier.append(caller)
+            frontier = next_frontier
+        return chains
+
+    # -- import graph and incremental cone ---------------------------------
+
+    def import_graph(self) -> Dict[str, Set[str]]:
+        """Module-level edges: importer -> imported project modules.
+
+        ``TYPE_CHECKING``-guarded imports are included (a type-only
+        edge still propagates dirtiness safely; over-invalidation is
+        harmless, under-invalidation is not).
+        """
+        if self._import_graph is not None:
+            return self._import_graph
+        graph: Dict[str, Set[str]] = {}
+        for module in sorted(self.modules):
+            targets: Set[str] = set()
+            summary = self.modules[module]
+            for edge in summary.imports:
+                owner = self.module_of(edge.target) if edge.target else None
+                if owner is not None and owner != module:
+                    targets.add(owner)
+            for star_target in summary.star_imports:
+                if star_target in self.modules:
+                    targets.add(star_target)
+            graph[module] = targets
+        self._import_graph = graph
+        return graph
+
+    def dependency_cone(self, dirty: Iterable[str]) -> Set[str]:
+        """Modules whose whole-program findings may change when ``dirty``
+        modules changed: the dirty set plus every transitive importer.
+
+        A module's flow-sensitive findings depend on its own summary
+        and on the summaries of everything it (transitively) imports,
+        so editing D invalidates exactly D and the modules that can
+        reach D through imports.
+        """
+        graph = self.import_graph()
+        reverse: Dict[str, Set[str]] = {}
+        for importer, targets in graph.items():
+            for target in targets:
+                reverse.setdefault(target, set()).add(importer)
+        cone: Set[str] = set()
+        frontier = [m for m in dirty if m in self.modules]
+        while frontier:
+            node = frontier.pop()
+            if node in cone:
+                continue
+            cone.add(node)
+            frontier.extend(sorted(reverse.get(node, ())))
+        return cone
+
+    # -- reference index ---------------------------------------------------
+
+    def reference_index(self) -> Dict[str, Set[str]]:
+        """Identifier -> set of modules whose source mentions it."""
+        index: Dict[str, Set[str]] = {}
+        for module in sorted(self.modules):
+            for name in self.modules[module].refs:
+                index.setdefault(name, set()).add(module)
+        return index
+
+    def is_suppressed(self, module: str, line: int, rule_id: str) -> bool:
+        """Whether a ``# repro: noqa`` comment covers a program finding."""
+        summary = self.modules.get(module)
+        if summary is None:
+            return False
+        ids = summary.noqa.get(line)
+        if ids is None:
+            return False
+        return "*" in ids or rule_id in ids
+
+
+def model_from_sources(sources: Dict[str, str]) -> ProjectModel:
+    """Build a model straight from ``{relpath: source}`` (test helper)."""
+    from repro.analysis.engine import module_name_for, parse_noqa
+    from pathlib import Path
+
+    summaries = []
+    for relpath in sorted(sources):
+        source = sources[relpath]
+        tree = ast.parse(source)
+        noqa_map, _ = parse_noqa(source)
+        summaries.append(
+            summarize_module(
+                tree,
+                module_name_for(Path(relpath)),
+                relpath,
+                noqa={line: ids for line, ids in noqa_map.items()},
+            )
+        )
+    return ProjectModel(summaries)

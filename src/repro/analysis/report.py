@@ -4,22 +4,28 @@ The JSON schema is versioned and key-stable so CI consumers can parse
 it without tracking analyzer internals::
 
     {
-      "version": 1,
+      "version": 2,
       "tool": "repro.analysis",
+      "analyzer_version": "2.0.0",
+      "rules": ["REP001", ...],
       "findings": [{"rule", "severity", "path", "line", "col",
                     "message", "baselined"}, ...],
       "summary": {"total", "new", "baselined", "errors", "warnings"}
     }
+
+Schema v2 added the ``analyzer_version`` and ``rules`` header keys so
+a CI artifact records exactly which analyzer and which resolved rule
+set produced it (v1 carried only the findings and summary).
 """
 
 from __future__ import annotations
 
 import json
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
-from repro.analysis.findings import Finding, Severity
+from repro.analysis.findings import ANALYZER_VERSION, Finding, Severity
 
-JSON_SCHEMA_VERSION = 1
+JSON_SCHEMA_VERSION = 2
 
 
 def summarize(findings: Sequence[Finding]) -> dict:
@@ -49,14 +55,23 @@ def render_text(findings: Sequence[Finding]) -> str:
     return "\n".join(lines)
 
 
-def render_json(findings: Sequence[Finding]) -> str:
-    """Machine-oriented stable-schema JSON document."""
+def render_json(
+    findings: Sequence[Finding], rules: Optional[Sequence[str]] = None
+) -> str:
+    """Machine-oriented stable-schema JSON document.
+
+    ``rules`` is the resolved rule-id set that ran (after --select /
+    --disable / config filtering); it lands in the header so an
+    artifact is self-describing.
+    """
     ordered = sorted(
         findings, key=lambda f: (f.path, f.line, f.col, f.rule_id)
     )
     payload = {
         "version": JSON_SCHEMA_VERSION,
         "tool": "repro.analysis",
+        "analyzer_version": ANALYZER_VERSION,
+        "rules": sorted(rules) if rules is not None else [],
         "findings": [finding.to_json() for finding in ordered],
         "summary": summarize(findings),
     }

@@ -17,6 +17,9 @@ does not add passes.
 from __future__ import annotations
 
 import ast
+import inspect
+import re
+import textwrap
 from typing import Dict, Iterable, Iterator, List, Tuple, Type
 
 from repro.analysis.findings import Finding, Severity
@@ -25,6 +28,11 @@ from repro.errors import ConfigError
 
 class Rule:
     """Base class for all lint rules."""
+
+    #: Whole-program rules set this True and implement :meth:`check`
+    #: on a :class:`~repro.analysis.project.ProjectModel` instead of
+    #: per-node :meth:`visit`.
+    is_project_rule: bool = False
 
     #: Stable identifier, e.g. ``REP001``.  Used in output, ``noqa``
     #: comments, baselines, and configuration.
@@ -52,6 +60,46 @@ class Rule:
             path=ctx.relpath,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program (flow-sensitive) rules.
+
+    A project rule never sees individual AST nodes; instead the engine
+    hands it the resolved :class:`~repro.analysis.project.ProjectModel`
+    once per run and the rule reports findings anywhere in the project.
+    ``modules`` restricts the pass to the dirty dependency cone during
+    incremental runs; ``None`` means the whole project.
+    """
+
+    is_project_rule = True
+    #: Rules whose findings in module M depend only on M and M's
+    #: transitive imports can be recomputed for the dirty cone alone.
+    #: Rules that read the entire project (e.g. reference scans) set
+    #: this True and are recomputed globally whenever anything changed.
+    global_scope: bool = False
+
+    def visit(self, node: ast.AST, ctx) -> Iterable[Finding]:
+        """Project rules take no per-node dispatch."""
+        return ()
+
+    def check(self, project, config, modules=None) -> Iterable[Finding]:
+        """Yield findings over the project model."""
+        raise NotImplementedError
+
+    def project_finding(
+        self, config, relpath: str, line: int, col: int, message: str
+    ) -> Finding:
+        """Build a finding at an absolute project location."""
+        override = config.severity_overrides.get(self.rule_id)
+        return Finding(
+            rule_id=self.rule_id,
+            severity=override if override is not None else self.severity,
+            path=relpath,
+            line=line,
+            col=col,
             message=message,
         )
 
@@ -98,3 +146,85 @@ def _ensure_builtin_loaded() -> None:
     # Deferred so that `rules` and `builtin` may import each other's
     # neighbours without a cycle at module import time.
     import repro.analysis.builtin  # noqa: F401  (registers on import)
+    import repro.analysis.program_rules  # noqa: F401  (REP101-REP104)
+
+
+#: Section headers every rule docstring must carry for ``--explain``.
+EXPLAIN_SECTIONS = ("Invariant", "Why", "Good", "Bad")
+
+_SECTION_HEADER_RE = re.compile(
+    r"^(?P<name>Invariant|Why|Good|Bad)::?\s*(?P<inline>.*)$"
+)
+
+
+def explain_sections(rule_cls: Type[Rule]) -> Dict[str, str]:
+    """Parse the ``Invariant/Why/Good/Bad`` sections of a rule docstring.
+
+    Rule docstrings are the single source of truth for ``--explain``:
+    a one-line summary, then an ``Invariant:`` statement, a ``Why:``
+    rationale, and ``Good::`` / ``Bad::`` code examples.  Missing
+    sections raise :class:`ConfigError` so an undocumented rule cannot
+    ship silently.
+    """
+    doc = inspect.getdoc(rule_cls) or ""
+    sections: Dict[str, List[str]] = {"Summary": []}
+    current = "Summary"
+    for line in doc.splitlines():
+        # Headers sit at the left margin of the dedented docstring;
+        # indented occurrences (inside an example) are body text.
+        header = (
+            _SECTION_HEADER_RE.match(line) if not line.startswith(" ") else None
+        )
+        if header is not None:
+            current = header.group("name")
+            sections[current] = (
+                [header.group("inline")] if header.group("inline") else []
+            )
+            continue
+        sections.setdefault(current, []).append(line)
+    missing = [name for name in EXPLAIN_SECTIONS if name not in sections]
+    if missing:
+        raise ConfigError(
+            f"rule {rule_cls.rule_id} docstring is missing explain "
+            f"section(s): {', '.join(missing)}"
+        )
+    out: Dict[str, str] = {}
+    for name, lines in sections.items():
+        text = "\n".join(lines).strip("\n")
+        out[name] = text.rstrip()
+    return out
+
+
+def explain(rule_id: str) -> str:
+    """Human-readable explanation of one rule, from its docstring."""
+    _ensure_builtin_loaded()
+    normalized = rule_id.strip().upper()
+    try:
+        rule_cls = _REGISTRY[normalized]
+    except KeyError:
+        raise ConfigError(
+            f"unknown rule id {rule_id!r} (see --list-rules)"
+        ) from None
+    sections = explain_sections(rule_cls)
+    kind = "whole-program" if rule_cls.is_project_rule else "per-file"
+    parts = [
+        f"{rule_cls.rule_id} ({rule_cls.severity.value}, {kind}) — "
+        f"{rule_cls.description}",
+        "",
+        "Invariant:",
+        _indent(sections["Invariant"]),
+        "",
+        "Why:",
+        _indent(sections["Why"]),
+        "",
+        "Good:",
+        _indent(sections["Good"]),
+        "",
+        "Bad:",
+        _indent(sections["Bad"]),
+    ]
+    return "\n".join(parts)
+
+
+def _indent(text: str, prefix: str = "  ") -> str:
+    return textwrap.indent(textwrap.dedent(text), prefix)

@@ -23,7 +23,7 @@ from repro.dga.detector import DetectorMetrics, DgaDetector, TrainedModel
 from repro.dga.families import ALL_FAMILIES, family_by_name
 from repro.dga.features import FEATURE_NAMES, extract_features
 
-__all__ = [
+__all__ = [  # repro: noqa[REP104] classifier I/O record types; exported for annotations
     "ALL_FAMILIES",
     "DetectorMetrics",
     "DgaDetector",

@@ -30,7 +30,7 @@ from repro.dns.tld import TldRegistry
 from repro.dns.wire import decode_message, encode_message
 from repro.dns.zone import AuthoritativeServer, Zone
 
-__all__ = [
+__all__ = [  # repro: noqa[REP104] resolver result types; exported for annotations
     "AuthoritativeServer",
     "CacheEntry",
     "CacheOutcome",

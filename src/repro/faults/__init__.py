@@ -35,7 +35,7 @@ from repro.faults.plan import (
     InjectionLog,
 )
 
-__all__ = [
+__all__ = [  # repro: noqa[REP104] fault-plan record types; exported for annotations
     "BurstInjector",
     "CorruptionInjector",
     "CrashInjector",

@@ -29,7 +29,7 @@ from repro.faults.injectors import (
 )
 from repro.rand import SeedSequenceFactory
 
-__all__ = [
+__all__ = [  # repro: noqa[REP104] fault-plan record types; exported for annotations
     "DropoutWindow",
     "FaultPlan",
     "FaultSchedule",

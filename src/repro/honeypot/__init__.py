@@ -40,7 +40,7 @@ from repro.honeypot.server import NxdHoneypot
 from repro.honeypot.useragent import AgentKind, UserAgentInfo, parse_user_agent
 from repro.honeypot.webfilter import ReferralKind, WebFilter
 
-__all__ = [
+__all__ = [  # repro: noqa[REP104] session/response record types; exported for annotations
     "AgentKind",
     "CategorizedRequest",
     "Category",

@@ -16,7 +16,7 @@ from repro.passivedns.sampling import sample_domains
 from repro.passivedns.sensor import Sensor, SensorTappedResolver
 from repro.passivedns.vantage import MultiVantageCollector, replay_clients
 
-__all__ = [
+__all__ = [  # repro: noqa[REP104] aggregation result type; exported for annotations
     "DnsObservation",
     "DomainProfile",
     "MultiVantageCollector",

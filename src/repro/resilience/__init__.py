@@ -20,7 +20,7 @@ from repro.resilience.breaker import BreakerState, CircuitBreaker
 from repro.resilience.dlq import DeadLetter, DeadLetterQueue, ReplayStats
 from repro.resilience.retry import RetryPolicy
 
-__all__ = [
+__all__ = [  # repro: noqa[REP104] dead-letter record type; exported for annotations
     "BreakerState",
     "CircuitBreaker",
     "DeadLetter",

@@ -27,7 +27,7 @@ from repro.whois.record import WhoisRecord
 from repro.whois.registrar import DropCatchService, Registrar
 from repro.whois.registry import Registry
 
-__all__ = [
+__all__ = [  # repro: noqa[REP104] lifecycle record type; exported for annotations
     "DomainLifecycle",
     "DomainStatus",
     "DropCatchService",

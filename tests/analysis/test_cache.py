@@ -1,0 +1,230 @@
+"""The incremental results cache and the parallel per-file pass.
+
+Correctness bar: a warm, incremental, or parallel run must produce
+byte-identical findings to a cold serial run, for any edit sequence.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import cache as cache_mod
+from repro.analysis import AnalysisConfig, Analyzer, default_rules
+
+
+def _write(root, relpath, text):
+    path = root / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def project(tmp_path):
+    """A small on-disk project with one laundered clock violation."""
+    _write(
+        tmp_path,
+        "src/repro/util.py",
+        "import time\n\n\n"
+        "def _stamp():\n"
+        '    """Doc."""\n'
+        "    return time.time()  # repro: noqa[REP001] fixture\n",
+    )
+    _write(
+        tmp_path,
+        "src/repro/core/flow.py",
+        '"""Doc."""\n'
+        "from repro.util import _stamp\n\n\n"
+        "def run(records):\n"
+        '    """Doc."""\n'
+        "    return _stamp(), records\n",
+    )
+    _write(
+        tmp_path,
+        "src/repro/clean.py",
+        '"""Doc."""\n\n\n'
+        "def add(a, b):\n"
+        '    """Doc."""\n'
+        "    return a + b\n",
+    )
+    return tmp_path
+
+
+def _run(root, cache=None, jobs=1):
+    config = AnalysisConfig()
+    analyzer = Analyzer(config, default_rules())
+    return analyzer.run(root, [root / "src/repro"], jobs=jobs, cache=cache)
+
+
+def _signature():
+    return cache_mod.ruleset_signature(
+        AnalysisConfig(), [r.rule_id for r in default_rules()]
+    )
+
+
+def test_warm_run_hits_cache_and_matches_cold(project):
+    cache = cache_mod.AnalysisCache(signature=_signature())
+    cold = _run(project, cache=cache)
+    assert cache.misses == 3 and cache.hits == 0
+    assert any(f.rule_id == "REP101" for f in cold)
+
+    warm = _run(project, cache=cache)
+    assert cache.hits == cache.misses == 3
+    assert [f.to_json() for f in warm] == [f.to_json() for f in cold]
+
+
+def test_content_change_invalidates_only_that_file(project):
+    cache = cache_mod.AnalysisCache(signature=_signature())
+    _run(project, cache=cache)
+    cache.hits = cache.misses = 0
+
+    _write(
+        project,
+        "src/repro/clean.py",
+        '"""Doc."""\n\n\n'
+        "def add(a, b):\n"
+        '    """Doc."""\n'
+        "    return a + b + 0\n",
+    )
+    findings = _run(project, cache=cache)
+    assert cache.misses == 1 and cache.hits == 2
+    # the unrelated REP101 finding survives the incremental pass
+    assert any(f.rule_id == "REP101" for f in findings)
+
+
+def test_edit_propagates_through_dependency_cone(project):
+    cache = cache_mod.AnalysisCache(signature=_signature())
+    before = _run(project, cache=cache)
+    assert any(f.rule_id == "REP101" for f in before)
+
+    # remove the sink: the flagged caller lives in a *different* file,
+    # which stays byte-identical — only cone invalidation can clear it
+    _write(
+        project,
+        "src/repro/util.py",
+        '"""Doc."""\n\n\n'
+        "def _stamp():\n"
+        '    """Doc."""\n'
+        "    return 0\n",
+    )
+    after = _run(project, cache=cache)
+    assert not any(f.rule_id == "REP101" for f in after)
+
+
+def test_new_violation_in_touched_file_is_found_warm(project):
+    cache = cache_mod.AnalysisCache(signature=_signature())
+    _run(project, cache=cache)
+    _write(
+        project,
+        "src/repro/clean.py",
+        '"""Doc."""\n\n\n'
+        "def add(a, b=[]):\n"
+        '    """Doc."""\n'
+        "    return a + b\n",
+    )
+    findings = _run(project, cache=cache)
+    assert any(
+        f.rule_id == "REP006" and f.path == "src/repro/clean.py"
+        for f in findings
+    )
+
+
+def test_cache_round_trips_through_disk(project, tmp_path):
+    cache = cache_mod.AnalysisCache(signature=_signature())
+    cold = _run(project, cache=cache)
+    cache_file = tmp_path / "cache.json"
+    cache_mod.save_cache(cache_file, cache)
+
+    reloaded = cache_mod.load_cache(cache_file, _signature())
+    assert reloaded.program_valid
+    warm = _run(project, cache=reloaded)
+    assert reloaded.misses == 0
+    assert [f.to_json() for f in warm] == [f.to_json() for f in cold]
+
+
+def test_signature_mismatch_discards_cache(project, tmp_path):
+    cache = cache_mod.AnalysisCache(signature=_signature())
+    _run(project, cache=cache)
+    cache_file = tmp_path / "cache.json"
+    cache_mod.save_cache(cache_file, cache)
+
+    other = cache_mod.load_cache(cache_file, "different-signature")
+    assert other.files == {} and not other.program_valid
+
+
+def test_corrupt_cache_degrades_to_cold_run(project, tmp_path):
+    cache_file = tmp_path / "cache.json"
+    cache_file.write_text("{not json", encoding="utf-8")
+    cache = cache_mod.load_cache(cache_file, _signature())
+    assert cache.files == {}
+    # and a truncated-but-valid-json payload is equally non-fatal
+    cache_file.write_text(
+        json.dumps({"signature": _signature(), "files": {"x.py": {}}}),
+        encoding="utf-8",
+    )
+    cache = cache_mod.load_cache(cache_file, _signature())
+    assert cache.files == {}
+
+
+def test_ruleset_signature_covers_rules_and_severity():
+    config = AnalysisConfig()
+    base = cache_mod.ruleset_signature(config, ["REP001", "REP002"])
+    assert base == cache_mod.ruleset_signature(config, ["REP002", "REP001"])
+    assert base != cache_mod.ruleset_signature(config, ["REP001"])
+
+    from repro.analysis.findings import Severity
+
+    overridden = AnalysisConfig()
+    overridden.severity_overrides["REP001"] = Severity.WARNING
+    assert base != cache_mod.ruleset_signature(overridden, ["REP001", "REP002"])
+
+
+def test_reference_entries_do_not_satisfy_lint_lookups():
+    cache = cache_mod.AnalysisCache(signature="s")
+    cache.store("a.py", "hash1", [], None, lint=False)
+    assert cache.lookup("a.py", "hash1", lint=True) is None
+    assert cache.lookup("a.py", "hash1", lint=False) is not None
+    # upgrading to a lint entry satisfies both
+    cache.store("a.py", "hash1", [], None, lint=True)
+    assert cache.lookup("a.py", "hash1", lint=True) is not None
+    assert cache.lookup("a.py", "hash1", lint=False) is not None
+
+
+def test_prune_drops_deleted_files(project):
+    cache = cache_mod.AnalysisCache(signature=_signature())
+    _run(project, cache=cache)
+    assert "src/repro/clean.py" in cache.files
+    (project / "src/repro/clean.py").unlink()
+    _run(project, cache=cache)
+    assert "src/repro/clean.py" not in cache.files
+
+
+def test_parallel_run_matches_serial(project):
+    serial = _run(project)
+    parallel = _run(project, jobs=2)
+    assert [f.to_json() for f in parallel] == [f.to_json() for f in serial]
+
+
+def test_parallel_warm_cache_matches(project):
+    cache = cache_mod.AnalysisCache(signature=_signature())
+    cold = _run(project, cache=cache, jobs=2)
+    warm = _run(project, cache=cache, jobs=2)
+    assert [f.to_json() for f in warm] == [f.to_json() for f in cold]
+
+
+def test_program_valid_distinguishes_empty_from_unran(tmp_path):
+    # a clean project caches "zero program findings" as a valid result
+    _write(
+        tmp_path,
+        "src/repro/clean.py",
+        '"""Doc."""\n\n\n'
+        "def add(a, b):\n"
+        '    """Doc."""\n'
+        "    return a + b\n",
+    )
+    cache = cache_mod.AnalysisCache(signature=_signature())
+    assert not cache.program_valid
+    _run(tmp_path, cache=cache)
+    assert cache.program_valid
+    assert cache.program_findings == {}

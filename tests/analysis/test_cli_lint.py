@@ -50,7 +50,10 @@ def test_lint_json_output_parses(tmp_path, capsys):
     )
     assert code == 1
     document = json.loads(capsys.readouterr().out)
-    assert document["version"] == 1
+    assert document["version"] == 2
+    assert document["analyzer_version"]
+    # the resolved rule set that actually ran is recorded in the header
+    assert "REP002" in document["rules"]
     assert document["summary"]["errors"] >= 1
     assert any(e["rule"] == "REP002" for e in document["findings"])
 
@@ -100,3 +103,77 @@ def test_unknown_select_id_is_usage_error(capsys):
     # a typo'd --select must not silently lint with zero rules
     assert cli_main(["lint", "--root", REPO_ROOT, "--select", "REP01"]) == 2
     assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_explain_prints_rule_documentation(capsys):
+    assert cli_main(["lint", "--explain", "REP101"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("REP101")
+    for header in ("Invariant:", "Why:", "Good:", "Bad:"):
+        assert header in out
+
+
+def test_explain_is_case_insensitive(capsys):
+    assert cli_main(["lint", "--explain", "rep001"]) == 0
+    assert capsys.readouterr().out.startswith("REP001")
+
+
+def test_explain_unknown_rule_is_usage_error(capsys):
+    assert cli_main(["lint", "--explain", "REP999"]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_jobs_zero_is_usage_error(capsys):
+    assert cli_main(["lint", "--root", REPO_ROOT, "--jobs", "0"]) == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_default_run_writes_and_reuses_cache(tmp_path, capsys):
+    src = tmp_path / "src" / "repro"
+    src.mkdir(parents=True)
+    (src / "mod.py").write_text(
+        '"""Doc."""\n\n\ndef f(a):\n    """Doc."""\n    return a\n',
+        encoding="utf-8",
+    )
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.repro.analysis]\npaths = ["src/repro"]\n', encoding="utf-8"
+    )
+    assert cli_main(["lint", "--root", str(tmp_path)]) == 0
+    cache_file = tmp_path / ".repro-analysis-cache.json"
+    assert cache_file.is_file()
+    capsys.readouterr()
+    # a second run reuses the cache and still exits clean
+    assert cli_main(["lint", "--root", str(tmp_path)]) == 0
+    # --no-cache neither requires nor rewrites the cache file
+    cache_file.unlink()
+    capsys.readouterr()
+    assert cli_main(["lint", "--root", str(tmp_path), "--no-cache"]) == 0
+    assert not cache_file.exists()
+
+
+def test_explicit_paths_do_not_touch_cache(tmp_path, capsys):
+    src = tmp_path / "src" / "repro"
+    src.mkdir(parents=True)
+    (src / "mod.py").write_text(
+        '"""Doc."""\n\n\ndef f(a):\n    """Doc."""\n    return a\n',
+        encoding="utf-8",
+    )
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.repro.analysis]\npaths = ["src/repro"]\n', encoding="utf-8"
+    )
+    code = cli_main(
+        ["lint", "--root", str(tmp_path), "--no-baseline", "src/repro"]
+    )
+    capsys.readouterr()
+    assert code == 0
+    assert not (tmp_path / ".repro-analysis-cache.json").exists()
+
+
+def test_jobs_run_matches_serial_output(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nfrom time import time\n", encoding="utf-8")
+    args = ["lint", "--root", REPO_ROOT, "--no-baseline", str(bad)]
+    assert cli_main(args) == 1
+    serial = capsys.readouterr().out
+    assert cli_main(args + ["--jobs", "2"]) == 1
+    assert capsys.readouterr().out == serial

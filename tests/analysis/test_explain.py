@@ -1,0 +1,49 @@
+"""``--explain REP###``: rule docstrings are the single source of
+truth, and every registered rule must carry complete sections."""
+
+import pytest
+
+from repro.analysis.rules import (
+    EXPLAIN_SECTIONS,
+    explain,
+    explain_sections,
+    iter_rules,
+)
+from repro.errors import ConfigError
+
+
+def test_every_registered_rule_has_complete_sections():
+    for rule_cls in iter_rules():
+        sections = explain_sections(rule_cls)
+        for name in EXPLAIN_SECTIONS:
+            assert sections[name].strip(), (
+                f"{rule_cls.rule_id} has an empty {name} section"
+            )
+
+
+def test_explain_renders_all_sections():
+    text = explain("REP001")
+    assert text.startswith("REP001 (error, per-file)")
+    for header in ("Invariant:", "Why:", "Good:", "Bad:"):
+        assert header in text
+
+
+def test_explain_marks_whole_program_rules():
+    assert "(error, whole-program)" in explain("REP101")
+    assert "(warning, whole-program)" in explain("REP104")
+
+
+def test_explain_is_case_insensitive():
+    assert explain("rep005") == explain("REP005")
+
+
+def test_explain_unknown_rule_is_config_error():
+    with pytest.raises(ConfigError, match="unknown rule id"):
+        explain("REP999")
+
+
+def test_explain_good_bad_examples_look_like_code():
+    # examples should carry indented code, not prose placeholders
+    for rule_cls in iter_rules():
+        sections = explain_sections(rule_cls)
+        assert sections["Good"] != sections["Bad"], rule_cls.rule_id

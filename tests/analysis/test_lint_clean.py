@@ -67,3 +67,41 @@ def test_injected_unseeded_randomness_is_caught():
 def test_every_builtin_rule_is_registered():
     ids = {rule.rule_id for rule in default_rules()}
     assert {f"REP00{n}" for n in range(1, 9)} <= ids
+    assert {f"REP10{n}" for n in range(1, 5)} <= ids
+
+
+def test_whole_program_pass_runs_in_default_lint():
+    # the self-hosting run must include the REP10x pass: the analyzer
+    # instance carries project rules and they execute without findings
+    config = load_config(REPO_ROOT)
+    analyzer = Analyzer(config, default_rules())
+    assert analyzer.project_rules, "REP10x rules missing from default set"
+    new, _ = _run_repo_lint()
+    program = [f for f in new if f.rule_id.startswith("REP10")]
+    assert program == [], "whole-program findings:\n" + "\n".join(
+        f.render() for f in program
+    )
+
+
+def test_injected_laundered_clock_read_is_caught_whole_program():
+    # REP101: the wall-clock read hides behind a helper in another
+    # module, invisible to any per-file rule
+    config = load_config(REPO_ROOT)
+    analyzer = Analyzer(config, default_rules())
+    findings = analyzer.check_project_sources({
+        "src/repro/core/hidden.py": (
+            '"""Doc."""\n'
+            "import time\n\n\n"
+            "def _stamp():\n"
+            '    """Doc."""\n'
+            "    return time.time()  # repro: noqa[REP001] injected\n"
+        ),
+        "src/repro/core/entry.py": (
+            '"""Doc."""\n'
+            "from repro.core.hidden import _stamp\n\n\n"
+            "def summarize(records):\n"
+            '    """Doc."""\n'
+            "    return _stamp(), records\n"
+        ),
+    })
+    assert any(f.rule_id == "REP101" for f in findings)

@@ -19,12 +19,27 @@ def _sample_findings(run_source):
 
 def test_json_schema_top_level_keys(run_source):
     document = json.loads(report_mod.render_json(_sample_findings(run_source)))
-    assert list(document) == ["version", "tool", "findings", "summary"]
+    assert list(document) == [
+        "version", "tool", "analyzer_version", "rules", "findings", "summary",
+    ]
     assert document["version"] == report_mod.JSON_SCHEMA_VERSION
+    assert document["version"] == 2
     assert document["tool"] == "repro.analysis"
+    assert document["analyzer_version"] == report_mod.ANALYZER_VERSION
     assert list(document["summary"]) == [
         "total", "new", "baselined", "errors", "warnings",
     ]
+
+
+def test_json_header_carries_resolved_rule_set(run_source):
+    rendered = report_mod.render_json(
+        _sample_findings(run_source), rules=["REP002", "REP001"]
+    )
+    document = json.loads(rendered)
+    assert document["rules"] == ["REP001", "REP002"]
+    # without an explicit rule set the header stays present but empty
+    bare = json.loads(report_mod.render_json(_sample_findings(run_source)))
+    assert bare["rules"] == []
 
 
 def test_json_finding_keys_and_types(run_source):

@@ -312,6 +312,47 @@ class TestRep005Layering:
         )
         assert "REP005" not in rule_ids(findings)
 
+    def test_type_checking_guarded_import_exempt(self, run_source):
+        # regression: an upward import under `if TYPE_CHECKING:` never
+        # executes, so it is a type-only edge, not a layering edge
+        findings = run_source(
+            """
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from repro.core import study
+            """,
+            relpath="src/repro/dns/cache.py",
+        )
+        assert "REP005" not in rule_ids(findings)
+
+    def test_type_checking_via_typing_attribute_exempt(self, run_source):
+        findings = run_source(
+            """
+            import typing
+
+            if typing.TYPE_CHECKING:
+                import repro.cli
+            """,
+            relpath="src/repro/core/study.py",
+        )
+        assert "REP005" not in rule_ids(findings)
+
+    def test_runtime_import_next_to_guard_still_flagged(self, run_source):
+        # only the guarded block is exempt; the module body is not
+        findings = run_source(
+            """
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from repro.core import study
+
+            from repro.core import pipeline
+            """,
+            relpath="src/repro/dns/cache.py",
+        )
+        assert "REP005" in rule_ids(findings)
+
 
 class TestRep006MutableDefaults:
     @pytest.mark.parametrize(
