@@ -7,10 +7,14 @@ engine-level performance contracts:
   whole-program pass;
 - **warm** — content-hash cache from the cold run: no file is
   re-parsed and the project pass is replayed from cached findings.
-  Contract (CI-enforced): warm time < 25% of cold time;
+  Contract (CI-enforced): zero cache misses — structural, so shared
+  CI runners cannot flake it.  The warm < 25%-of-cold wall-time ratio
+  is always printed but asserted only off-CI, where timings are
+  meaningful;
 - **parallel** — ``jobs=2`` process-pool fan-out.  Contract: output
   is byte-identical to the serial run; the >=1.5x speedup contract is
-  asserted only on hosts with enough cores to make it physical.
+  asserted only off-CI and on hosts with enough cores to make it
+  physical.
 
 ``time.perf_counter`` is a monotonic interval timer, not a wall-clock
 read, so it is (deliberately) outside REP001's ban list.
@@ -27,13 +31,17 @@ from repro.analysis import Analyzer, all_rule_ids, instantiate, load_config
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
-#: Warm runs must beat this fraction of the cold time (CI gate).
+#: Warm runs must beat this fraction of the cold time (asserted
+#: off-CI only; wall-time ratios on shared CI runners are noise).
 WARM_COLD_MAX_RATIO = 0.25
-#: Minimum parallel speedup, asserted only when the host has spare
-#: cores; a 1-2 core CI box cannot physically deliver it.
+#: Minimum parallel speedup, asserted only off-CI and when the host
+#: has spare cores; a 1-2 core box cannot physically deliver it.
 PARALLEL_MIN_SPEEDUP = 1.5
 PARALLEL_JOBS = 2
 ROUNDS = 3
+#: Timing ratios are informational on CI; structural contracts (cache
+#: misses, finding equality) are the hard gates everywhere.
+IN_CI = bool(os.environ.get("CI"))
 
 
 def _fresh_analyzer():
@@ -68,6 +76,7 @@ def timings():
 
     cold_time, (cache, cold_findings) = _timed(cold_run)
 
+    cache.hits = cache.misses = 0
     warm_time, warm_findings = _timed(
         lambda: analyzer.run(REPO_ROOT, paths, cache=cache)
     )
@@ -81,6 +90,7 @@ def timings():
         "warm": (warm_time, warm_findings),
         "parallel": (parallel_time, parallel_findings),
         "files": len(cache.files),
+        "warm_misses": cache.misses,
     }
 
 
@@ -103,10 +113,17 @@ def test_warm_run_is_incremental(timings):
     assert [f.to_json() for f in warm_findings] == [
         f.to_json() for f in cold_findings
     ], "warm findings diverge from cold"
-    assert ratio < WARM_COLD_MAX_RATIO, (
-        f"warm run took {ratio:.1%} of cold; the incremental cache "
-        f"contract is < {WARM_COLD_MAX_RATIO:.0%}"
+    # The hard gate is structural: an unchanged tree must produce zero
+    # cache misses, i.e. no file is ever re-parsed on a warm run.
+    assert timings["warm_misses"] == 0, (
+        f"{timings['warm_misses']} cache misses on a warm run over an "
+        "unchanged tree; the incremental cache is not incremental"
     )
+    if not IN_CI:
+        assert ratio < WARM_COLD_MAX_RATIO, (
+            f"warm run took {ratio:.1%} of cold; the incremental cache "
+            f"contract is < {WARM_COLD_MAX_RATIO:.0%}"
+        )
 
 
 def test_parallel_run_matches_serial(timings):
@@ -122,9 +139,10 @@ def test_parallel_run_matches_serial(timings):
     assert [f.to_json() for f in parallel_findings] == [
         f.to_json() for f in cold_findings
     ], "parallel findings diverge from serial"
-    if cores >= 2 * PARALLEL_JOBS:
-        # Only assert the speedup where the hardware can deliver it;
-        # on 1-2 core CI runners pool overhead dominates.
+    if not IN_CI and cores >= 2 * PARALLEL_JOBS:
+        # Only assert the speedup where the hardware can deliver it
+        # and the wall clock is trustworthy; on shared CI runners and
+        # 1-2 core boxes, noise and pool overhead dominate.
         assert speedup > PARALLEL_MIN_SPEEDUP, (
             f"jobs={PARALLEL_JOBS} speedup {speedup:.2f}x on {cores} "
             f"cores; contract is > {PARALLEL_MIN_SPEEDUP}x"

@@ -276,6 +276,19 @@ class Analyzer:
                 # treat them as dirtying everything they might define.
                 dirty_modules.add(module_name_for(Path(relpath)))
 
+        if cache is not None:
+            # A cached file absent from this scan was deleted or
+            # renamed.  Its module must be marked dirty even though no
+            # file was (re)analyzed, or the program pass replays stale
+            # findings for its unchanged importers and skips global
+            # rules (e.g. REP104 after deleting the only referencer).
+            for relpath in set(cache.files) - set(results):
+                entry = cache.files[relpath]
+                module = (entry.summary or {}).get("module")
+                dirty_modules.add(
+                    str(module) if module else module_name_for(Path(relpath))
+                )
+
         findings: List[Finding] = []
         for result in results.values():
             findings.extend(result.findings)

@@ -39,7 +39,10 @@ class FunctionInfo:
     decorated: bool = False
     nested: bool = False
     is_method: bool = False
+    #: Positional parameters in true declaration order (positional-only
+    #: first, then regular); keyword-only parameters live in ``kwonly``.
     params: List[str] = field(default_factory=list)
+    kwonly: List[str] = field(default_factory=list)
 
     def to_json(self) -> Dict[str, object]:
         """Serializable form for the results cache."""
@@ -53,6 +56,7 @@ class FunctionInfo:
             "nested": self.nested,
             "is_method": self.is_method,
             "params": list(self.params),
+            "kwonly": list(self.kwonly),
         }
 
     @classmethod
@@ -242,9 +246,9 @@ class _Summarizer(ast.NodeVisitor):
             part.startswith("_")
             for part in qualname[len(self.summary.module) + 1:].split(".")
         )
-        params = [arg.arg for arg in node.args.args]
-        params += [arg.arg for arg in node.args.posonlyargs]
-        params += [arg.arg for arg in node.args.kwonlyargs]
+        params = [arg.arg for arg in node.args.posonlyargs]
+        params += [arg.arg for arg in node.args.args]
+        kwonly = [arg.arg for arg in node.args.kwonlyargs]
         info = FunctionInfo(
             qualname=qualname,
             name=name,
@@ -255,6 +259,7 @@ class _Summarizer(ast.NodeVisitor):
             nested=self._func_depth > 0,
             is_method=self._class_depth > 0 and self._func_depth == 0,
             params=params,
+            kwonly=kwonly,
         )
         self.summary.functions[qualname] = info
         if not self._scope:
@@ -264,7 +269,7 @@ class _Summarizer(ast.NodeVisitor):
         self.summary.refs.append(name)
         self._scope.append(name)
         self._func_depth += 1
-        self._params.append(set(params))
+        self._params.append(set(params) | set(kwonly))
         self.generic_visit(node)
         self._params.pop()
         self._func_depth -= 1
@@ -674,14 +679,23 @@ class ProjectModel:
         and on the summaries of everything it (transitively) imports,
         so editing D invalidates exactly D and the modules that can
         reach D through imports.
+
+        A dirty name absent from the model is a deleted (or renamed)
+        module.  The import graph no longer carries edges to it — its
+        importers' edges now resolve elsewhere or nowhere — so the
+        cone is seeded from the raw import statements and bindings
+        that still mention the vanished name.
         """
         graph = self.import_graph()
         reverse: Dict[str, Set[str]] = {}
         for importer, targets in graph.items():
             for target in targets:
                 reverse.setdefault(target, set()).add(importer)
+        dirty = set(dirty)
         cone: Set[str] = set()
         frontier = [m for m in dirty if m in self.modules]
+        for missing in sorted(dirty - set(self.modules)):
+            frontier.extend(sorted(self._importers_of_missing(missing)))
         while frontier:
             node = frontier.pop()
             if node in cone:
@@ -689,6 +703,29 @@ class ProjectModel:
             cone.add(node)
             frontier.extend(sorted(reverse.get(node, ())))
         return cone
+
+    def _importers_of_missing(self, missing: str) -> Set[str]:
+        """Modules whose raw imports still reference a vanished module.
+
+        Matches import targets, star imports, and import-binding
+        values against ``missing`` and ``missing.*`` — ``from pkg
+        import mod`` records target ``pkg`` but binds ``mod`` to
+        ``pkg.mod``, so bindings must be checked too.
+        """
+        prefix = missing + "."
+
+        def _hits(name: str) -> bool:
+            return name == missing or name.startswith(prefix)
+
+        importers: Set[str] = set()
+        for module, summary in self.modules.items():
+            if (
+                any(_hits(edge.target) for edge in summary.imports)
+                or any(_hits(t) for t in summary.star_imports)
+                or any(_hits(v) for v in summary.bindings.values())
+            ):
+                importers.add(module)
+        return importers
 
     # -- reference index ---------------------------------------------------
 

@@ -191,6 +191,74 @@ def test_reference_entries_do_not_satisfy_lint_lookups():
     assert cache.lookup("a.py", "hash1", lint=False) is not None
 
 
+def test_deleting_sink_module_clears_importer_findings_warm(project):
+    cache = cache_mod.AnalysisCache(signature=_signature())
+    before = _run(project, cache=cache)
+    assert any(f.rule_id == "REP101" for f in before)
+
+    # delete the module *defining* the clock sink: every surviving
+    # file is byte-identical, so nothing is (re)analyzed and only
+    # deletion-dirtying can stop the cached REP101 from replaying
+    (project / "src/repro/util.py").unlink()
+    warm = _run(project, cache=cache)
+    cold = _run(project)
+    assert [f.to_json() for f in warm] == [f.to_json() for f in cold]
+    assert not any(f.rule_id == "REP101" for f in warm)
+
+
+def test_deleting_only_referencer_surfaces_dead_export_warm(tmp_path):
+    _write(
+        tmp_path,
+        "src/repro/api.py",
+        '"""Doc."""\n\n'
+        '__all__ = ["parse"]\n\n\n'
+        "def parse(text):\n"
+        '    """Doc."""\n'
+        "    return text\n",
+    )
+    _write(
+        tmp_path,
+        "src/repro/use.py",
+        '"""Doc."""\n'
+        "from repro.api import parse\n\n\n"
+        "def run(text):\n"
+        '    """Doc."""\n'
+        "    return parse(text)\n",
+    )
+    cache = cache_mod.AnalysisCache(signature=_signature())
+    before = _run(tmp_path, cache=cache)
+    assert not any(f.rule_id == "REP104" for f in before)
+
+    # the deletion introduces a *new* finding in an unchanged file:
+    # the export's sole referencer is gone, so REP104 must fire on the
+    # warm run exactly as it does on a cold one
+    (tmp_path / "src/repro/use.py").unlink()
+    warm = _run(tmp_path, cache=cache)
+    cold = _run(tmp_path)
+    assert [f.to_json() for f in warm] == [f.to_json() for f in cold]
+    assert any(f.rule_id == "REP104" for f in warm)
+
+
+def test_rename_moves_findings_warm(project):
+    cache = cache_mod.AnalysisCache(signature=_signature())
+    before = _run(project, cache=cache)
+    assert any(f.rule_id == "REP101" for f in before)
+
+    # rename = delete + add under a new module name; the stale cone
+    # (old name) and the fresh cone (new name) must both invalidate
+    flow = project / "src/repro/core/flow.py"
+    moved = project / "src/repro/core/pipeline.py"
+    moved.write_text(flow.read_text(encoding="utf-8"), encoding="utf-8")
+    flow.unlink()
+    warm = _run(project, cache=cache)
+    cold = _run(project)
+    assert [f.to_json() for f in warm] == [f.to_json() for f in cold]
+    hits = [f for f in warm if f.rule_id == "REP101"]
+    assert hits and all(
+        f.path == "src/repro/core/pipeline.py" for f in hits
+    )
+
+
 def test_prune_drops_deleted_files(project):
     cache = cache_mod.AnalysisCache(signature=_signature())
     _run(project, cache=cache)

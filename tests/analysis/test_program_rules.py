@@ -184,6 +184,45 @@ def test_rep103_flags_forwarded_dynamic_import():
     assert any("repro.cli" in f.message for f in hits)
 
 
+def test_rep103_flags_positional_only_forwarder():
+    # regression: posonly params were appended *after* regular ones,
+    # so 'name' was not seen as the first positional and the forwarded
+    # upward import slipped through
+    findings = _lint({
+        "src/repro/dns/loader.py": (
+            '"""Doc."""\n'
+            "import importlib\n\n\n"
+            "def _load(name, /, pkg=None):\n"
+            '    """Doc."""\n'
+            "    return importlib.import_module(name)\n\n\n"
+            "def boot():\n"
+            '    """Doc."""\n'
+            "    return _load('repro.cli')\n"
+        ),
+    })
+    hits = _ids(findings, "REP103")
+    assert any("repro.cli" in f.message for f in hits)
+
+
+def test_rep103_second_positional_flow_is_not_a_forwarder():
+    # regression: with posonly misordered, 'name' (truly the *second*
+    # positional) looked first, so boot's literal — which binds to
+    # 'pkg', not 'name' — was misread as the import target
+    findings = _lint({
+        "src/repro/dns/loader.py": (
+            '"""Doc."""\n'
+            "import importlib\n\n\n"
+            "def _load(pkg, /, name):\n"
+            '    """Doc."""\n'
+            "    return importlib.import_module(name)  # repro: noqa[REP103] fixture\n\n\n"
+            "def boot():\n"
+            '    """Doc."""\n'
+            "    return _load('repro.core.study', 'x')\n"
+        ),
+    })
+    assert _ids(findings, "REP103") == []
+
+
 def test_rep103_flags_unverifiable_target():
     findings = _lint({
         "src/repro/dns/loader.py": (

@@ -24,6 +24,20 @@ def _model(files):
     )
 
 
+def test_function_params_keep_declaration_order():
+    model = _model({
+        "src/repro/a.py": (
+            "def load(name, /, pkg, *args, flag=False, **extra):\n"
+            "    pass\n"
+        ),
+    })
+    info = model.modules["repro.a"].functions["repro.a.load"]
+    # positional-only first, then regular — true call-site order
+    assert info.params == ["name", "pkg"]
+    # keyword-only params can never receive a positional argument
+    assert info.kwonly == ["flag"]
+
+
 def test_resolve_plain_import_alias():
     model = _model({
         "src/repro/a.py": "import repro.b as bee\n\ndef f():\n    bee.g()\n",
