@@ -3,9 +3,11 @@
 Not paper figures — these track the performance of the building blocks
 the study leans on, so substrate regressions show up next to the
 experiment benches: wire codec throughput, full iterative resolution,
-cached resolution, passive-DNS ingest, and classifier throughput.
+cached resolution, passive-DNS ingest (scalar and batch), indexed
+per-domain series queries, and classifier throughput.
 """
 
+import numpy as np
 import pytest
 
 from repro.dga.detector import DgaDetector
@@ -16,6 +18,7 @@ from repro.dns.name import DomainName
 from repro.dns.tld import TldRegistry
 from repro.dns.wire import decode_message, encode_message
 from repro.passivedns.database import PassiveDnsDatabase
+from repro.rand import make_rng
 from repro.squatting.detector import SquattingDetector
 
 
@@ -76,6 +79,55 @@ def test_perf_database_ingest(benchmark):
 
     db = benchmark(ingest)
     assert db.total_responses() == 2_000
+
+
+def test_perf_database_ingest_batch(benchmark):
+    """Columnar batch ingest of the same workload as the scalar bench."""
+    domains = [DomainName(f"bulk-{i % 500}.com") for i in range(2_000)]
+    times = np.arange(2_000, dtype=np.int64) * 60
+    counts = np.ones(2_000, dtype=np.int64)
+
+    def ingest():
+        db = PassiveDnsDatabase()
+        ids = db.intern_many(domains)
+        db.add_batch(ids, times, counts)
+        return db
+
+    db = benchmark(ingest)
+    assert db.total_responses() == 2_000
+    reference = PassiveDnsDatabase()
+    for i, domain in enumerate(domains):
+        reference.add(domain, timestamp=i * 60, count=1)
+    assert db.fingerprint() == reference.fingerprint()
+
+
+@pytest.fixture(scope="module")
+def series_db():
+    db = PassiveDnsDatabase()
+    rng = make_rng(0)
+    n_domains, n_rows = 400, 120_000
+    domains = [DomainName(f"series-{i}.com") for i in range(n_domains)]
+    ids = db.intern_many(domains)
+    row_ids = ids[rng.integers(0, n_domains, size=n_rows)]
+    times = rng.integers(0, 400, size=n_rows).astype(np.int64) * 86_400
+    db.add_batch(row_ids, times, np.ones(n_rows, dtype=np.int64))
+    return db, domains
+
+
+def test_perf_daily_series_indexed(benchmark, series_db):
+    """CSR-indexed per-domain series (touches one domain's rows)."""
+    db, domains = series_db
+    target = domains[7]
+    series = benchmark(db.daily_series_for, target, 0, 400 * 86_400)
+    assert series.sum() == db.profile(target).total_queries
+
+
+def test_perf_daily_series_scan(benchmark, series_db):
+    """Reference full-column masked scan (the pre-index baseline)."""
+    db, domains = series_db
+    target = domains[7]
+    series = benchmark(db._daily_series_scan, target, 0, 400 * 86_400)
+    assert series.sum() == db.profile(target).total_queries
 
 
 def test_perf_feature_extraction(benchmark):

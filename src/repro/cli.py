@@ -47,6 +47,13 @@ def build_parser() -> argparse.ArgumentParser:
             default=0.005,
             help="fraction of the paper's 5.93M honeypot requests to generate",
         )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for trace generation (output is "
+            "fingerprint-identical at any worker count)",
+        )
 
     for name, help_text in (
         ("report", "run the full study and print every table and figure"),
@@ -98,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
     trace_generate.add_argument("out", help="output directory")
     trace_generate.add_argument("--seed", type=int, default=0)
     trace_generate.add_argument("--domains", type=int, default=6_000)
+    trace_generate.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for query emission (deterministic)",
+    )
     trace_analyze = trace_sub.add_parser(
         "analyze", help="run the §4 analyses over a saved trace"
     )
@@ -127,6 +140,7 @@ def _study_from(args: argparse.Namespace) -> NxdomainStudy:
         trace_domains=args.domains,
         squat_count=max(args.domains // 25, 50),
         honeypot_scale=args.honeypot_scale,
+        trace_jobs=args.jobs,
     )
     return NxdomainStudy(seed=args.seed, config=config)
 
@@ -365,7 +379,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
         config = TraceConfig(
             total_domains=args.domains, squat_count=max(args.domains // 25, 50)
         )
-        trace = NxdomainTraceGenerator(seed=args.seed, config=config).generate()
+        trace = NxdomainTraceGenerator(seed=args.seed, config=config).generate(
+            jobs=args.jobs
+        )
         root = save_trace(trace, args.out)
         print(
             f"saved trace: {trace.nx_db.unique_domains():,} domains, "

@@ -51,6 +51,11 @@ class StudyConfig:
     #: ``None`` (the default) leaves the pipeline untouched and the
     #: study byte-identical to a pre-fault-harness run.
     fault_plan: Optional[FaultPlan] = None
+    #: Worker processes for trace query emission.  Generation is
+    #: fingerprint-identical at any worker count (per-record seed
+    #: streams, population-order merge), so this is purely a wall-time
+    #: knob.
+    trace_jobs: int = 1
 
     def trace_config(self) -> TraceConfig:
         return TraceConfig(
@@ -136,7 +141,7 @@ class NxdomainStudy:
                     seed=self._seeds.child_seed("trace"),
                     config=self.config.trace_config(),
                 )
-                base = generator.generate()
+                base = generator.generate(jobs=self.config.trace_jobs)
             if self.config.fault_plan is not None:
                 base, self.fault_stats = base.degraded(
                     self.config.fault_plan,

@@ -30,13 +30,14 @@ PathLike = Union[str, "os.PathLike[str]"]
 def save_database(db: PassiveDnsDatabase, path: PathLike) -> None:
     """Write the store to ``path`` (.npz, compressed)."""
     domain_ids, times, counts = db._columns()  # noqa: SLF001 - same package
+    first_seen, last_seen, totals = db._aggregate_columns()  # noqa: SLF001
     np.savez_compressed(
         path,
         version=np.int64(FORMAT_VERSION),
         domains=np.asarray([str(d) for d in db.all_domains()], dtype=object),
-        first_seen=np.asarray(db._first_seen, dtype=np.int64),
-        last_seen=np.asarray(db._last_seen, dtype=np.int64),
-        totals=np.asarray(db._totals, dtype=np.int64),
+        first_seen=first_seen,
+        last_seen=last_seen,
+        totals=totals,
         row_domain=domain_ids,
         row_time=times,
         row_count=counts,
@@ -52,16 +53,16 @@ def load_database(path: PathLike) -> PassiveDnsDatabase:
                 f"unsupported passive-DNS archive version {version} "
                 f"(expected {FORMAT_VERSION})"
             )
-        db = PassiveDnsDatabase()
-        db._domains = [DomainName(str(d)) for d in archive["domains"]]
-        db._id_of = {domain: i for i, domain in enumerate(db._domains)}
-        db._first_seen = [int(v) for v in archive["first_seen"]]
-        db._last_seen = [int(v) for v in archive["last_seen"]]
-        db._totals = [int(v) for v in archive["totals"]]
-        db._row_domain = [int(v) for v in archive["row_domain"]]
-        db._row_time = [int(v) for v in archive["row_time"]]
-        db._row_count = [int(v) for v in archive["row_count"]]
-        db._frozen = None
+        domains = [DomainName(str(d)) for d in archive["domains"]]
+        db = PassiveDnsDatabase._from_arrays(  # noqa: SLF001 - same package
+            domains=domains,
+            first_seen=np.asarray(archive["first_seen"], dtype=np.int64),
+            last_seen=np.asarray(archive["last_seen"], dtype=np.int64),
+            totals=np.asarray(archive["totals"], dtype=np.int64),
+            row_domain=np.asarray(archive["row_domain"], dtype=np.int64),
+            row_time=np.asarray(archive["row_time"], dtype=np.int64),
+            row_count=np.asarray(archive["row_count"], dtype=np.int64),
+        )
     _validate(db)
     return db
 
@@ -144,12 +145,12 @@ def load_checkpoint(directory: PathLike) -> Optional[CheckpointState]:
 
 
 def _validate(db: PassiveDnsDatabase) -> None:
-    n = len(db._domains)
-    if not (len(db._first_seen) == len(db._last_seen) == len(db._totals) == n):
+    n = db.unique_domains()
+    first_seen, last_seen, totals = db._aggregate_columns()  # noqa: SLF001
+    if not (len(first_seen) == len(last_seen) == len(totals) == n):
         raise ConfigError("corrupt archive: aggregate column lengths differ")
-    if not (
-        len(db._row_domain) == len(db._row_time) == len(db._row_count)
-    ):
+    row_domain, row_time, row_count = db._columns()  # noqa: SLF001
+    if not (len(row_domain) == len(row_time) == len(row_count)):
         raise ConfigError("corrupt archive: row column lengths differ")
-    if db._row_domain and max(db._row_domain) >= n:
+    if len(row_domain) and int(row_domain.max()) >= n:
         raise ConfigError("corrupt archive: row references unknown domain id")

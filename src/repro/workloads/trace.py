@@ -30,8 +30,9 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -251,14 +252,24 @@ class NxdomainTraceGenerator:
 
     # -- public API -----------------------------------------------------
 
-    def generate(self) -> TraceResult:
-        """Build population, WHOIS, blocklist, and both databases."""
+    def generate(self, jobs: int = 1) -> TraceResult:
+        """Build population, WHOIS, blocklist, and both databases.
+
+        ``jobs`` shards query emission across a process pool.  Every
+        per-record RNG stream is derived from the record's population
+        index (not its shard), and shard results are merged back in
+        population order, so the output is fingerprint-identical at
+        any worker count — ``generate(jobs=4)`` is byte-for-byte
+        ``generate(jobs=1)``, just faster.
+        """
+        if jobs < 1:
+            raise WorkloadError("jobs must be at least 1")
         population = self._build_population()
         whois = self._build_whois(population)
         blocklist = self._build_blocklist(population)
         nx_db = PassiveDnsDatabase()
         pre_db = PassiveDnsDatabase()
-        self._emit_queries(population, nx_db, pre_db)
+        self._emit_queries(population, nx_db, pre_db, jobs=jobs)
         return TraceResult(
             config=self.config,
             nx_db=nx_db,
@@ -487,66 +498,120 @@ class NxdomainTraceGenerator:
         population: List[TraceDomain],
         nx_db: PassiveDnsDatabase,
         pre_db: PassiveDnsDatabase,
+        jobs: int = 1,
     ) -> None:
-        cfg = self.config
-        rng = self._seeds.rng("queries")
-        for record in population:
-            self._emit_nx_activity(rng, record, nx_db)
-            if record.kind.is_expired:
-                self._emit_pre_expiry(rng, record, pre_db)
+        """Emit every domain's query arrays and merge them in order.
 
-    def _emit_nx_activity(
-        self, rng, record: TraceDomain, nx_db: PassiveDnsDatabase
-    ) -> None:
-        cfg = self.config
-        start_day = (record.became_nx_at - STUDY_START_EPOCH) // SECONDS_PER_DAY
-        # Daily for the analysis window, weekly (aggregated) beyond.
-        daily_days = min(record.activity_days, cfg.daily_window_days)
-        offsets = list(range(daily_days))
-        weekly_offsets = list(range(cfg.daily_window_days, record.activity_days, 7))
-        all_offsets = np.asarray(offsets + weekly_offsets, dtype=np.int64)
-        if len(all_offsets) == 0:
-            return
-        # Gentle decay of interest over the domain's NX lifetime plus
-        # the Figure 6 bump around day +30.
-        decay = np.exp(-all_offsets / max(record.activity_days, 30))
-        # The Figure 6 spike: the paper observes a pronounced burst of
-        # queries ~30 days after a domain first appears as NX, briefly
-        # exceeding even its pre-expiry volume.
-        bump = 1.0 + 4.0 * np.exp(-0.5 * ((all_offsets - 30) / 4.0) ** 2)
-        year_factors = np.asarray(
-            [
-                YEAR_MULTIPLIERS.get(
-                    2014 + int((start_day + o) // 365), 1.0
-                )
-                for o in all_offsets
-            ]
-        )
-        lam = record.base_rate * decay * bump * year_factors
-        lam[len(offsets):] *= 7  # weekly rows aggregate seven days
-        counts = rng.poisson(lam)
-        for offset, count in zip(all_offsets, counts):
-            if count <= 0:
-                continue
-            timestamp = record.became_nx_at + int(offset) * SECONDS_PER_DAY
-            nx_db.add(record.domain, timestamp, int(count))
-
-    def _emit_pre_expiry(
-        self, rng, record: TraceDomain, pre_db: PassiveDnsDatabase
-    ) -> None:
-        """NOERROR query volume for the 60 days before becoming NX.
-
-        Figure 6 compares this against the post-NX series; the paper
-        observes post-expiry volume is lower overall, so the pre-expiry
-        rate sits above the post-NX base rate.
+        Serial and sharded paths run the exact same per-record code
+        with the exact same per-record seeds; parallelism only changes
+        *where* the arrays are computed, never what they contain.
         """
-        pre_rate = record.base_rate * 1.6
-        lam = np.full(60, pre_rate)
-        counts = rng.poisson(lam)
-        for offset, count in zip(range(-60, 0), counts):
-            if count <= 0:
-                continue
-            timestamp = record.became_nx_at + offset * SECONDS_PER_DAY
-            if timestamp < STUDY_START_EPOCH:
-                continue
-            pre_db.add(record.domain, timestamp, int(count))
+        emit_seed = self._seeds.child_seed("queries")
+        if jobs == 1 or len(population) < 2 * jobs:
+            emissions = _emit_shard(emit_seed, self.config, population, 0)
+        else:
+            bounds = [
+                (len(population) * shard) // jobs for shard in range(jobs + 1)
+            ]
+            shards = [
+                (emit_seed, self.config, population[lo:hi], lo)
+                for lo, hi in zip(bounds, bounds[1:])
+            ]
+            emissions = []
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                # Deterministic merge: results collected in shard
+                # order, regardless of completion order.
+                for shard_result in pool.map(_emit_shard_args, shards):
+                    emissions.extend(shard_result)
+        for record, (nx_times, nx_counts, pre_times, pre_counts) in zip(
+            population, emissions
+        ):
+            nx_db.add_rows(record.domain, nx_times, nx_counts)
+            if record.kind.is_expired:
+                pre_db.add_rows(record.domain, pre_times, pre_counts)
+
+
+def _emit_shard_args(
+    args: Tuple[int, TraceConfig, List[TraceDomain], int]
+) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Process-pool adapter: unpack one shard's argument tuple."""
+    return _emit_shard(*args)
+
+
+def _emit_shard(
+    emit_seed: int,
+    config: TraceConfig,
+    records: Sequence[TraceDomain],
+    start_index: int,
+) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Emit query arrays for one contiguous population shard.
+
+    Each record draws from its own stream, derived from ``emit_seed``
+    and the record's *global* population index — the property that
+    makes any sharding of the population produce identical arrays.
+    """
+    factory = SeedSequenceFactory(emit_seed)
+    out = []
+    for offset, record in enumerate(records):
+        rng = factory.rng(f"record-{start_index + offset}")
+        nx_times, nx_counts = _emit_nx_activity(rng, record, config)
+        if record.kind.is_expired:
+            pre_times, pre_counts = _emit_pre_expiry(rng, record)
+        else:
+            pre_times = pre_counts = np.empty(0, dtype=np.int64)
+        out.append((nx_times, nx_counts, pre_times, pre_counts))
+    return out
+
+
+def _emit_nx_activity(
+    rng, record: TraceDomain, config: TraceConfig
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One domain's post-NX (timestamps, counts) arrays."""
+    start_day = (record.became_nx_at - STUDY_START_EPOCH) // SECONDS_PER_DAY
+    # Daily for the analysis window, weekly (aggregated) beyond.
+    daily_days = min(record.activity_days, config.daily_window_days)
+    n_daily = max(daily_days, 0)
+    weekly = np.arange(
+        config.daily_window_days, record.activity_days, 7, dtype=np.int64
+    )
+    all_offsets = np.concatenate(
+        [np.arange(n_daily, dtype=np.int64), weekly]
+    )
+    if len(all_offsets) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    # Gentle decay of interest over the domain's NX lifetime plus
+    # the Figure 6 bump around day +30.
+    decay = np.exp(-all_offsets / max(record.activity_days, 30))
+    # The Figure 6 spike: the paper observes a pronounced burst of
+    # queries ~30 days after a domain first appears as NX, briefly
+    # exceeding even its pre-expiry volume.
+    bump = 1.0 + 4.0 * np.exp(-0.5 * ((all_offsets - 30) / 4.0) ** 2)
+    years = 2014 + (start_day + all_offsets) // 365
+    year_factors = np.asarray(
+        [YEAR_MULTIPLIERS.get(int(year), 1.0) for year in years]
+    )
+    lam = record.base_rate * decay * bump * year_factors
+    lam[n_daily:] *= 7  # weekly rows aggregate seven days
+    counts = rng.poisson(lam).astype(np.int64)
+    keep = counts > 0
+    times = record.became_nx_at + all_offsets[keep] * SECONDS_PER_DAY
+    return times, counts[keep]
+
+
+def _emit_pre_expiry(
+    rng, record: TraceDomain
+) -> Tuple[np.ndarray, np.ndarray]:
+    """NOERROR (timestamps, counts) for the 60 days before becoming NX.
+
+    Figure 6 compares this against the post-NX series; the paper
+    observes post-expiry volume is lower overall, so the pre-expiry
+    rate sits above the post-NX base rate.
+    """
+    pre_rate = record.base_rate * 1.6
+    lam = np.full(60, pre_rate)
+    counts = rng.poisson(lam).astype(np.int64)
+    offsets = np.arange(-60, 0, dtype=np.int64)
+    times = record.became_nx_at + offsets * SECONDS_PER_DAY
+    keep = (counts > 0) & (times >= STUDY_START_EPOCH)
+    return times[keep], counts[keep]

@@ -66,12 +66,23 @@ class TestProfiles:
         assert db.profile(DomainName("www.alpha.com")).domain == D1
 
     def test_monthly_rate(self, db):
-        # 15 queries over 5 days -> one-month floor -> 15/month... wait:
-        # months = max(5,1)/30 = 1/6; max(1/6, 1.0) = 1.0 -> 15.0.
-        assert db.profile(D1).monthly_rate() == pytest.approx(15.0)
+        # 15 queries over 5 days -> months = max(5,1)/30 = 1/6 -> 90/month.
+        # A sub-month lifespan is *not* clamped up to a full month: the
+        # rate is a true per-month extrapolation, so short-lived bursts
+        # rank above slow drips of the same total volume.
+        assert db.profile(D1).monthly_rate() == pytest.approx(90.0)
+
+    def test_monthly_rate_single_day(self, db):
+        # Zero-day lifespans use the one-day floor: 3 / (1/30) = 90.
+        assert db.profile(D2).monthly_rate() == pytest.approx(90.0)
 
     def test_high_traffic_selection(self, db):
-        assert {p.domain for p in db.high_traffic_domains(10)} == {D1}
+        # Both fixtures extrapolate to 90/month, so thresholds select on
+        # the unclamped rate.  100 excludes both; 90 keeps both; the §3.3
+        # study-set selection is unaffected because it also requires a
+        # >=180-day NX window, where the old clamp never bound.
+        assert db.high_traffic_domains(100) == []
+        assert {p.domain for p in db.high_traffic_domains(90)} == {D1, D2}
         assert {p.domain for p in db.high_traffic_domains(1)} == {D1, D2}
 
 
@@ -157,6 +168,173 @@ class TestLifespanDecay:
             db.add(DomainName(f"d{domain_index}.com"), day * DAY)
         _, queries = db.lifespan_decay(max_days=31)
         assert queries.sum() == len(rows)
+
+
+class TestBatchIngest:
+    def test_batch_matches_scalar(self):
+        """add_batch lands the same store as row-by-row add."""
+        rng = make_rng(7)
+        domains = [DomainName(f"d{i}.com") for i in range(20)]
+        rows = [
+            (domains[int(rng.integers(0, 20))],
+             int(rng.integers(0, 400)) * DAY,
+             int(rng.integers(1, 9)))
+            for _ in range(500)
+        ]
+        scalar = PassiveDnsDatabase()
+        for domain, timestamp, count in rows:
+            scalar.add(domain, timestamp, count)
+        batched = PassiveDnsDatabase()
+        ids = batched.intern_many(domain for domain, _, _ in rows)
+        batched.add_batch(
+            ids,
+            np.asarray([t for _, t, _ in rows], dtype=np.int64),
+            np.asarray([c for _, _, c in rows], dtype=np.int64),
+        )
+        assert batched.fingerprint() == scalar.fingerprint()
+        assert batched.total_responses() == scalar.total_responses()
+        assert batched.monthly_response_series() == scalar.monthly_response_series()
+        assert batched.tld_histogram() == scalar.tld_histogram()
+        for domain in domains:
+            a, b = batched.profile(domain), scalar.profile(domain)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert (a.first_seen, a.last_seen, a.total_queries) == (
+                    b.first_seen, b.last_seen, b.total_queries
+                )
+
+    def test_add_rows_matches_scalar(self):
+        scalar = PassiveDnsDatabase()
+        batched = PassiveDnsDatabase()
+        times = [0, 3 * DAY, 3 * DAY, 9 * DAY]
+        counts = [2, 1, 4, 1]
+        for t, c in zip(times, counts):
+            scalar.add(D1, t, c)
+        batched.add_rows(D1, times, counts)
+        assert batched.fingerprint() == scalar.fingerprint()
+        assert batched.row_count() == scalar.row_count() == 4
+
+    def test_batch_validation(self):
+        db = PassiveDnsDatabase()
+        ids = db.intern_many([D1])
+        with pytest.raises(ValueError):
+            db.add_batch(ids, np.asarray([0, DAY]), np.asarray([1, 1]))
+        with pytest.raises(ValueError):
+            db.add_batch(ids, np.asarray([0]), np.asarray([0]))
+        with pytest.raises(ValueError):
+            db.add_batch(np.asarray([5]), np.asarray([0]), np.asarray([1]))
+
+    def test_empty_batch_is_noop(self, db):
+        before = db.fingerprint()
+        db.add_batch(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+        db.add_rows(D1, [], [])
+        assert db.fingerprint() == before
+
+    def test_chunk_sealing_preserves_contents(self):
+        """Rows straddling multiple sealed chunks read back intact."""
+        db = PassiveDnsDatabase()
+        db._CHUNK = 64  # instance-level override: seal early
+        rng = make_rng(11)
+        total = 0
+        for i in range(300):
+            count = int(rng.integers(1, 5))
+            total += count
+            db.add(DomainName(f"d{i % 7}.com"), i * DAY, count)
+        assert db.row_count() == 300
+        assert db.total_responses() == total
+        series = db.daily_series_for(DomainName("d0.com"), 0, 300 * DAY)
+        assert series.sum() == db.profile(DomainName("d0.com")).total_queries
+
+    def test_snapshot_immune_to_later_appends(self):
+        """Column snapshots must not alias the mutable tail buffer."""
+        db = PassiveDnsDatabase()
+        db.add(D1, 0, count=10)
+        ids, times, counts = db._columns()
+        db.add(D2, 5 * DAY, count=3)
+        assert counts.tolist() == [10]
+        assert db._columns()[2].tolist() == [10, 3]
+
+
+class TestAggregateCache:
+    def test_cache_invalidated_by_add(self, db):
+        """Aggregates recompute after a post-aggregation mutation."""
+        assert db.monthly_response_series()  # prime the cache
+        first_fp = db.fingerprint()
+        histogram = db.tld_histogram()
+        assert histogram["com"] == (1, 15)
+        db.add(DomainName("gamma.org"), 7 * DAY, count=4)
+        assert db.total_responses() == 22
+        assert db.tld_histogram()["org"] == (1, 4)
+        assert sum(db.monthly_response_series().values()) == 22
+        assert db.fingerprint() != first_fp
+        decay_before = db.lifespan_decay(5)[1].sum()
+        db.add(DomainName("gamma.org"), 7 * DAY, count=1)
+        assert db.lifespan_decay(5)[1].sum() == decay_before + 1
+
+    def test_cached_results_are_copies(self, db):
+        db.monthly_response_series()["2014-01"] = -1
+        assert -1 not in db.monthly_response_series().values()
+        db.lifespan_decay(5)[0][:] = -1
+        assert (db.lifespan_decay(5)[0] >= 0).all()
+
+    def test_fingerprint_order_insensitive(self):
+        forward = PassiveDnsDatabase()
+        backward = PassiveDnsDatabase()
+        rows = [(D1, 0, 1), (D2, DAY, 2), (D1, 2 * DAY, 3)]
+        for domain, t, c in rows:
+            forward.add(domain, t, c)
+        for domain, t, c in reversed(rows):
+            backward.add(domain, t, c)
+        assert forward.fingerprint() == backward.fingerprint()
+
+
+class TestIndexedSeries:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 5), st.integers(0, 120), st.integers(1, 6)
+            ),
+            min_size=1,
+            max_size=80,
+        ),
+        st.integers(0, 60),
+        st.integers(0, 70),
+    )
+    def test_indexed_matches_scan(self, rows, start_day, span_days):
+        """The CSR-indexed series equals the reference masked scan."""
+        db = PassiveDnsDatabase()
+        for domain_index, day, count in rows:
+            db.add(DomainName(f"d{domain_index}.com"), day * DAY, count)
+        start = start_day * DAY
+        end = (start_day + span_days) * DAY
+        for domain_index in range(6):
+            domain = DomainName(f"d{domain_index}.com")
+            np.testing.assert_array_equal(
+                db.daily_series_for(domain, start, end),
+                db._daily_series_scan(domain, start, end),
+            )
+
+
+class TestDedupWindow:
+    def test_restore_trims_to_window(self):
+        db = PassiveDnsDatabase(deduplicate=True)
+        oversized = [("sensor", i, 0) for i in range(db.DEDUP_WINDOW + 100)]
+        db.restore_recent_keys(oversized)
+        restored = db.recent_keys()
+        assert len(restored) == db.DEDUP_WINDOW
+        # The newest keys survive; the oldest 100 are dropped.
+        assert restored[0] == ("sensor", 100, 0)
+        assert restored[-1] == ("sensor", db.DEDUP_WINDOW + 99, 0)
+
+    def test_restore_roundtrip_under_window(self):
+        db = PassiveDnsDatabase(deduplicate=True)
+        keys = [("sensor", i, 0) for i in range(10)]
+        db.restore_recent_keys(keys)
+        assert db.recent_keys() == keys
 
 
 class TestSampling:
