@@ -54,6 +54,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for trace generation (output is "
             "fingerprint-identical at any worker count)",
         )
+        p.add_argument(
+            "--spill-dir",
+            default=None,
+            help="back the NX store with the crash-safe on-disk spill "
+            "store under this directory (byte-identical analyses; "
+            "reopened stores are fingerprint-verified)",
+        )
 
     for name, help_text in (
         ("report", "run the full study and print every table and figure"),
@@ -93,6 +100,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub_faults.add_argument(
         "--include-origin", action="store_true", help="also run the §5 checks"
+    )
+    sub_faults.add_argument(
+        "--spill-dir",
+        default=None,
+        help="run each degraded replay against a crash-safe spill store "
+        "under this directory (one subdirectory per rate and seed)",
+    )
+    sub_faults.add_argument(
+        "--list-injectors",
+        action="store_true",
+        help="list the available fault injectors (stream and storage) "
+        "and exit",
     )
 
     sub_trace = sub.add_parser(
@@ -141,6 +160,7 @@ def _study_from(args: argparse.Namespace) -> NxdomainStudy:
         squat_count=max(args.domains // 25, 50),
         honeypot_scale=args.honeypot_scale,
         trace_jobs=args.jobs,
+        spill_dir=args.spill_dir,
     )
     return NxdomainStudy(seed=args.seed, config=config)
 
@@ -315,9 +335,42 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.robust() else 1
 
 
+def _list_injectors() -> int:
+    """Print every injector the fault layer ships, by category."""
+    import repro.faults.injectors as injectors_mod
+
+    stream: List[tuple] = []
+    storage: List[tuple] = []
+    for attr in sorted(vars(injectors_mod)):
+        obj = getattr(injectors_mod, attr)
+        if (
+            not isinstance(obj, type)
+            or not issubclass(obj, injectors_mod.Injector)
+            or obj is injectors_mod.Injector
+        ):
+            continue
+        doc = (obj.__doc__ or "").strip().splitlines()[0]
+        row = (obj.name, attr, doc)
+        if issubclass(obj, injectors_mod.StorageFaultInjector):
+            storage.append(row)
+        else:
+            stream.append(row)
+    print("stream injectors (rate-driven, FaultPlan/FaultSchedule):")
+    print(reports.render_table(["name", "class", "what it injects"], stream))
+    print()
+    print(
+        "storage injectors (positional, crash-at-a-write-boundary; "
+        "drive SpillStore durability — see docs/RESILIENCE.md):"
+    )
+    print(reports.render_table(["name", "class", "what it injects"], storage))
+    return 0
+
+
 def cmd_faults(args: argparse.Namespace) -> int:
     from repro.core.validation import fault_sweep
 
+    if args.list_injectors:
+        return _list_injectors()
     rates = [float(token) for token in args.rates.split(",") if token.strip()]
     config = StudyConfig(
         trace_domains=args.domains, squat_count=max(args.domains // 25, 50)
@@ -327,6 +380,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         config,
         rates=rates,
         include_origin=args.include_origin,
+        spill_dir=args.spill_dir,
     )
     print(
         f"shape-check degradation over {len(report.seeds)} seeds at "

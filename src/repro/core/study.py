@@ -56,6 +56,12 @@ class StudyConfig:
     #: streams, population-order merge), so this is purely a wall-time
     #: knob.
     trace_jobs: int = 1
+    #: When set, the NX store backing every analysis is the crash-safe
+    #: on-disk segment store under this directory (committed as one
+    #: manifest generation; reopened stores are fingerprint-verified).
+    #: Every §4 aggregate stays byte-identical to the in-memory path —
+    #: see ``docs/RESILIENCE.md``.
+    spill_dir: Optional[str] = None
 
     def trace_config(self) -> TraceConfig:
         return TraceConfig(
@@ -147,6 +153,8 @@ class NxdomainStudy:
                     self.config.fault_plan,
                     seed=self._seeds.child_seed("fault-injection"),
                 )
+            if self.config.spill_dir is not None:
+                base = base.spilled(self.config.spill_dir)
             self._trace = base
         return self._trace
 

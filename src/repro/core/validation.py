@@ -11,7 +11,8 @@ it ships with; the CLI exposes it as ``repro-nxd validate``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.study import NxdomainStudy, StudyConfig
 from repro.errors import ConfigError
@@ -183,6 +184,7 @@ def fault_sweep(
     config: StudyConfig,
     rates: Sequence[float] = (0.0, 0.01, 0.05, 0.10),
     include_origin: bool = False,
+    spill_dir: Optional[Union[str, Path]] = None,
 ) -> FaultSweepReport:
     """Re-run the shape checks against fault-degraded collections.
 
@@ -190,7 +192,10 @@ def fault_sweep(
     :meth:`~repro.faults.plan.FaultPlan.loss` pipeline per rate, so the
     sweep isolates the effect of collection faults from trace sampling
     noise.  The fault schedule's seed is derived from the study seed,
-    keeping the whole sweep bit-reproducible.
+    keeping the whole sweep bit-reproducible.  With ``spill_dir`` each
+    degraded replay runs against a crash-safe on-disk spill store under
+    ``<spill_dir>/rate-<rate>/seed-<seed>`` (results are identical; the
+    sweep then also exercises the durable path end to end).
     """
     if not seeds:
         raise ConfigError("need at least one seed")
@@ -208,9 +213,15 @@ def fault_sweep(
         for seed in seeds:
             base = clean[seed]
             if rate > 0:
+                replay_spill = (
+                    Path(spill_dir) / f"rate-{rate:.4f}" / f"seed-{seed}"
+                    if spill_dir is not None
+                    else None
+                )
                 degraded, stats = base.degraded(
                     FaultPlan.loss(rate),
                     seed=derive_seed(seed, "fault-sweep"),
+                    spill_dir=replay_spill,
                 )
                 totals.dropped += stats.dropped
                 totals.store_failures += stats.store_failures

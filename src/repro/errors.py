@@ -65,6 +65,29 @@ class InjectedFaultError(TransientError):
     """A failure deliberately raised by the fault-injection harness."""
 
 
+class InjectedCrashError(ReproError):
+    """The fault harness killed the writer at a durability boundary.
+
+    Deliberately *not* a :class:`TransientError`: a crash models the
+    whole process dying, so retry machinery must never absorb it —
+    recovery happens at the next :meth:`SpillStore.open`, not in-line.
+    """
+
+
+class CorruptArchiveError(ReproError):
+    """A persisted artifact failed an integrity check on read.
+
+    Raised instead of leaking ``zipfile.BadZipFile`` / ``OSError`` /
+    checksum mismatches from the persistence layer.  Carries the
+    offending ``path`` and a human-readable ``detail``.
+    """
+
+    def __init__(self, path: object, detail: str) -> None:
+        self.path = str(path)
+        self.detail = detail
+        super().__init__(f"corrupt archive {self.path}: {detail}")
+
+
 class CircuitOpenError(ReproError):
     """A circuit breaker is open and refused the call."""
 

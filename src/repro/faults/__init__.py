@@ -18,14 +18,19 @@ resolver.  The resilience primitives that absorb these faults live in
 """
 
 from repro.faults.injectors import (
+    BitFlipInjector,
     BurstInjector,
     CorruptionInjector,
     CrashInjector,
     DropInjector,
     DuplicateInjector,
+    FaultAction,
+    FsyncLossInjector,
     Injector,
     ReorderInjector,
+    StorageFaultInjector,
     StoreFaultInjector,
+    TornWriteInjector,
 )
 from repro.faults.plan import (
     DropoutWindow,
@@ -36,17 +41,22 @@ from repro.faults.plan import (
 )
 
 __all__ = [  # repro: noqa[REP104] fault-plan record types; exported for annotations
+    "BitFlipInjector",
     "BurstInjector",
     "CorruptionInjector",
     "CrashInjector",
     "DropInjector",
     "DropoutWindow",
     "DuplicateInjector",
+    "FaultAction",
     "FaultPlan",
     "FaultSchedule",
+    "FsyncLossInjector",
     "InjectionEvent",
     "InjectionLog",
     "Injector",
     "ReorderInjector",
+    "StorageFaultInjector",
     "StoreFaultInjector",
+    "TornWriteInjector",
 ]

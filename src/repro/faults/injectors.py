@@ -21,7 +21,12 @@ from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
-from repro.errors import ConfigError, InjectedFaultError, TransientStoreError
+from repro.errors import (
+    ConfigError,
+    InjectedCrashError,
+    InjectedFaultError,
+    TransientStoreError,
+)
 
 T = TypeVar("T")
 
@@ -298,3 +303,143 @@ class BurstInjector(Injector):
                 self._record("burst", f"t={timestamp} x{self.multiplier}")
                 return self.multiplier
         return 1
+
+
+# ---------------------------------------------------------------------------
+# storage faults: crash-at-a-write-boundary injectors for the spill store
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """What the durability layer should do at one write boundary.
+
+    Returned by :meth:`StorageFaultInjector.decide`; the spill store's
+    IO layer applies it mechanically (see ``repro.passivedns.spill``).
+    ``truncate_to``/``flip`` only apply to byte-writing boundaries;
+    ``lose`` only applies to ``fsync`` boundaries (the write is rolled
+    back to its pre-write content, as if the kernel never flushed it).
+    """
+
+    crash_before: bool = False
+    crash_after: bool = False
+    truncate_to: Optional[int] = None
+    flip: Optional[Tuple[int, int]] = None
+    lose: bool = False
+
+
+#: The boundary ops a durability layer reports.  ``write`` and
+#: ``append`` carry bytes; ``fsync`` flushes one file; ``replace`` is
+#: the atomic rename; ``dirsync`` flushes the directory entry.
+STORAGE_OPS = ("write", "append", "fsync", "replace", "dirsync")
+
+_NO_FAULT = FaultAction()
+
+
+class StorageFaultInjector(Injector):
+    """Base class: counts durability boundaries, fires at a pinned one.
+
+    Unlike the rate-driven injectors above, storage injectors are
+    *positional*: the harness enumerates every write boundary of a
+    spill-store workload (run once with the base class, which never
+    fires, and read ``decisions``), then re-runs the workload once per
+    boundary with an injector pinned to it — the deterministic
+    crash-at-every-write-boundary matrix.  ``at=None`` never fires.
+    """
+
+    name = "storage-probe"
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        log: InjectionLog,
+        at: Optional[int] = None,
+    ) -> None:
+        super().__init__(rng, log)
+        if at is not None and at < 0:
+            raise ConfigError("boundary index must be non-negative")
+        self.at = at
+        #: True once the pinned boundary has fired.
+        self.fired = False
+
+    def decide(self, op: str, path: str, size: int = 0) -> FaultAction:
+        """The durability layer's per-boundary hook."""
+        if op not in STORAGE_OPS:
+            raise ConfigError(f"unknown storage op {op!r}")
+        index = self.decisions
+        self.decisions += 1
+        if self.fired or self.at is None or index != self.at:
+            return _NO_FAULT
+        self.fired = True
+        return self._fire(op, path, size)
+
+    def _fire(self, op: str, path: str, size: int) -> FaultAction:
+        """Subclass hook: the action taken at the pinned boundary."""
+        return _NO_FAULT
+
+    def crash(self, context: str = "") -> None:
+        """Kill the writer (called by the IO layer per the action)."""
+        self._record("crash", context)
+        raise InjectedCrashError(
+            f"injected writer crash at boundary {self.at} ({context})"
+        )
+
+
+class TornWriteInjector(StorageFaultInjector):
+    """A write lands partially, then the process dies.
+
+    At a byte-writing boundary only a seeded fraction of the payload
+    reaches the file before the crash; at any other boundary the
+    process dies *before* the operation takes effect (covering
+    crash-before-rename and crash-before-fsync points).
+    """
+
+    name = "torn-write"
+
+    def _fire(self, op: str, path: str, size: int) -> FaultAction:
+        if op in ("write", "append") and size > 0:
+            keep = int(self._uniform() * size) % size
+            self._record("torn-write", f"{path} keep={keep}/{size}")
+            return FaultAction(truncate_to=keep, crash_after=True)
+        self._record("crash-before", f"{op} {path}")
+        return FaultAction(crash_before=True)
+
+
+class BitFlipInjector(StorageFaultInjector):
+    """Silent at-rest corruption: one bit flips inside a written file.
+
+    The writer *survives* and completes its protocol — the flip models
+    media corruption that nothing notices until the next
+    :meth:`SpillStore.open` checksums the segment.  At boundaries that
+    carry no bytes the process dies right after the operation instead
+    (covering crash-after-rename points).
+    """
+
+    name = "bit-flip"
+
+    def _fire(self, op: str, path: str, size: int) -> FaultAction:
+        if op in ("write", "append") and size > 0:
+            position = int(self._uniform() * size) % size
+            bit = int(self._uniform() * 8) % 8
+            self._record("bit-flip", f"{path} byte={position} bit={bit}")
+            return FaultAction(flip=(position, 1 << bit))
+        self._record("crash-after", f"{op} {path}")
+        return FaultAction(crash_after=True)
+
+
+class FsyncLossInjector(StorageFaultInjector):
+    """An fsync reports success but the data never hits the platter.
+
+    At an ``fsync`` boundary the file is rolled back to its pre-write
+    content and the process dies — the classic lost-write window.  At
+    any other boundary the process dies right after the operation.
+    """
+
+    name = "fsync-loss"
+
+    def _fire(self, op: str, path: str, size: int) -> FaultAction:
+        if op == "fsync":
+            self._record("fsync-loss", path)
+            return FaultAction(lose=True, crash_after=True)
+        self._record("crash-after", f"{op} {path}")
+        return FaultAction(crash_after=True)

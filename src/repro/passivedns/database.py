@@ -21,11 +21,22 @@ Performance layout (see ``docs/PERFORMANCE.md``):
 - **per-domain queries** go through a CSR-style domain→rows index, so
   :meth:`daily_series_for` touches one domain's rows instead of
   scanning the full columns.
+
+Durability layout (see ``docs/RESILIENCE.md``): constructing the store
+with ``spill_dir=`` opens a :class:`repro.passivedns.spill.SpillStore`
+under that directory.  Sealed chunks are spilled to checksummed,
+memory-mapped ``.npy`` segments instead of staying resident, the
+aggregate builders stream over the part list instead of forcing one
+in-memory concatenation, and :meth:`spill_commit` makes the current
+contents a durable manifest generation.  Every query — the CSR index,
+the aggregates, the order-insensitive :meth:`fingerprint` — answers
+byte-identically to the in-memory path.
 """
 
 from __future__ import annotations
 
 import hashlib
+import io as _stdio
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import (
@@ -46,7 +57,8 @@ from repro.clock import SECONDS_PER_DAY, month_key
 from repro.dns.message import RCode
 from repro.dns.name import DomainName
 from repro.passivedns.record import DnsObservation
-from repro.errors import ConfigError
+from repro.passivedns.spill import SpillStore
+from repro.errors import ConfigError, CorruptArchiveError
 
 #: Sentinels for a freshly interned domain before its first row lands:
 #: min/max updates against them always lose to a real timestamp.
@@ -153,7 +165,12 @@ class PassiveDnsDatabase:
     #: both sufficient and checkpointable.
     DEDUP_WINDOW = 4096
 
-    def __init__(self, deduplicate: bool = False) -> None:
+    def __init__(
+        self,
+        deduplicate: bool = False,
+        spill_dir: Optional[Any] = None,
+        spill_faults: Optional[Any] = None,
+    ) -> None:
         self._id_of: Dict[DomainName, int] = {}
         self._domains: List[DomainName] = []
         # Per-domain aggregate columns (parallel to ``_domains``).
@@ -181,6 +198,11 @@ class PassiveDnsDatabase:
         self.deduplicate = deduplicate
         self._recent_keys: "OrderedDict[tuple, None]" = OrderedDict()
         self.duplicates_suppressed = 0
+        #: Durable segment store when opened with ``spill_dir=``.
+        self._spill: Optional[SpillStore] = None
+        if spill_dir is not None:
+            self._spill = SpillStore.open(spill_dir, faults=spill_faults)
+            self._restore_from_spill()
 
     # -- ingestion --------------------------------------------------------
 
@@ -330,16 +352,48 @@ class PassiveDnsDatabase:
     def _seal_tail(self) -> None:
         if len(self._tail_domain) == 0:
             return
-        self._chunks.append(
-            (
-                self._tail_domain.view().copy(),
-                self._tail_time.view().copy(),
-                self._tail_count.view().copy(),
+        if self._spill is not None:
+            # Spill the sealed rows to a checksummed on-disk segment
+            # and keep only a memory map resident.  The segment is
+            # durable immediately but joins a manifest generation only
+            # at the next :meth:`spill_commit`.
+            info = self._spill.append_segment(
+                self._tail_domain.view(),
+                self._tail_time.view(),
+                self._tail_count.view(),
             )
-        )
+            self._chunks.append(self._spill.mmap_segment(info))
+        else:
+            self._chunks.append(
+                (
+                    self._tail_domain.view().copy(),
+                    self._tail_time.view().copy(),
+                    self._tail_count.view().copy(),
+                )
+            )
         self._tail_domain.clear()
         self._tail_time.clear()
         self._tail_count.clear()
+
+    def _parts(self) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Immutable row parts in insertion order, tail snapshot last.
+
+        The streaming counterpart of :meth:`_columns`: aggregate
+        builders iterate these instead of forcing one concatenation,
+        so a spill-backed store touches one mmap'd segment at a time.
+        The live tail is *copied* (it is small — at most ``_CHUNK``
+        rows) so no part aliases a buffer later appends overwrite.
+        """
+        parts = list(self._chunks)
+        if len(self._tail_domain):
+            parts.append(
+                (
+                    self._tail_domain.view().copy(),
+                    self._tail_time.view().copy(),
+                    self._tail_count.view().copy(),
+                )
+            )
+        return parts
 
     def _columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         if (
@@ -347,6 +401,23 @@ class PassiveDnsDatabase:
             and self._columns_cache[0] == self._generation
         ):
             return self._columns_cache[1]
+        if self._spill is not None:
+            # Spill mode: a transient, *uncached* concatenation.  Only
+            # the whole-store sorts (fingerprint, the reference scan)
+            # still need it; everything else streams `_parts()`.
+            # Caching or consolidating here would pin the full store in
+            # RAM and defeat the mmap'd layout.
+            parts = self._parts()
+            if not parts:
+                empty = np.empty(0, dtype=np.int64)
+                return (empty, empty.copy(), empty.copy())
+            if len(parts) == 1:
+                return parts[0]
+            return (
+                np.concatenate([p[0] for p in parts]),
+                np.concatenate([p[1] for p in parts]),
+                np.concatenate([p[2] for p in parts]),
+            )
         # Seal the mutable tail first so every part is an immutable
         # chunk — snapshots handed out here must never alias a buffer
         # later appends could overwrite.
@@ -389,7 +460,17 @@ class PassiveDnsDatabase:
             and self._index_cache[0] == self._generation
         ):
             return self._index_cache[1], self._index_cache[2]
-        ids, _, _ = self._columns()
+        if self._spill is not None:
+            # Concatenate only the id column (transient); times/counts
+            # stay mmap'd and are gathered per-part on query.
+            parts = self._parts()
+            ids = (
+                np.concatenate([p[0] for p in parts])
+                if parts
+                else np.empty(0, dtype=np.int64)
+            )
+        else:
+            ids, _, _ = self._columns()
         order = np.argsort(ids, kind="stable")
         row_counts = np.bincount(ids, minlength=len(self._domains))
         starts = np.zeros(len(self._domains) + 1, dtype=np.int64)
@@ -400,6 +481,38 @@ class PassiveDnsDatabase:
     def _rows_for(self, domain_id: int) -> np.ndarray:
         order, starts = self._row_index()
         return order[starts[domain_id] : starts[domain_id + 1]]
+
+    def _gather_rows(
+        self, rows: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, counts) at the given global row positions.
+
+        ``rows`` must be ascending (CSR slices are: the stable argsort
+        keeps a domain's rows in insertion order).  In spill mode the
+        positions are split across the part boundaries with one
+        ``searchsorted`` and gathered per mmap'd part, so a per-domain
+        query never materializes the full columns.
+        """
+        if self._spill is None:
+            _, times, counts = self._columns()
+            return times[rows], counts[rows]
+        parts = self._parts()
+        if len(parts) == 1:
+            return parts[0][1][rows], parts[0][2][rows]
+        lengths = np.asarray([len(p[0]) for p in parts], dtype=np.int64)
+        starts = np.zeros(len(parts) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=starts[1:])
+        cuts = np.searchsorted(rows, starts)
+        times_out = np.empty(len(rows), dtype=np.int64)
+        counts_out = np.empty(len(rows), dtype=np.int64)
+        for part_index, part in enumerate(parts):
+            lo, hi = cuts[part_index], cuts[part_index + 1]
+            if lo == hi:
+                continue
+            local = rows[lo:hi] - starts[part_index]
+            times_out[lo:hi] = part[1][local]
+            counts_out[lo:hi] = part[2][local]
+        return times_out, counts_out
 
     def _aggregate_columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Snapshot of the per-domain (first, last, totals) columns."""
@@ -446,6 +559,119 @@ class PassiveDnsDatabase:
         db._generation = 1
         return db
 
+    # -- durable spill ------------------------------------------------------
+
+    @property
+    def spill(self) -> Optional[SpillStore]:
+        """The backing segment store, or ``None`` for in-memory mode."""
+        return self._spill
+
+    def _restore_from_spill(self) -> None:
+        """Rehydrate from the spill store's recovered generation.
+
+        The domain table comes from the ``domains`` sidecar; the row
+        parts stay on disk as memory maps.  When the committed
+        manifest recorded a store fingerprint, the restored contents
+        are verified against it — a mismatch (which per-segment CRCs
+        should make unreachable) raises :class:`CorruptArchiveError`
+        rather than serving silently wrong data.
+        """
+        store = self._spill
+        assert store is not None
+        blob = store.read_sidecar("domains")
+        if blob is not None:
+            with np.load(
+                _stdio.BytesIO(blob), allow_pickle=True
+            ) as payload:
+                names = [str(d) for d in payload["domains"]]
+                first_seen = np.asarray(payload["first_seen"], dtype=np.int64)
+                last_seen = np.asarray(payload["last_seen"], dtype=np.int64)
+                totals = np.asarray(payload["totals"], dtype=np.int64)
+            if not (len(first_seen) == len(last_seen) == len(totals) == len(names)):
+                raise CorruptArchiveError(
+                    store.directory, "domain sidecar column lengths differ"
+                )
+            domains = [DomainName(name) for name in names]
+            self._id_of = {domain: i for i, domain in enumerate(domains)}
+            self._domains = domains
+            self._first_seen.extend(first_seen)
+            self._last_seen.extend(last_seen)
+            self._totals.extend(totals)
+            for domain in domains:
+                tld = domain.tld
+                tld_id = self._tld_of.get(tld)
+                if tld_id is None:
+                    tld_id = len(self._tlds)
+                    self._tld_of[tld] = tld_id
+                    self._tlds.append(tld)
+                self._tld_ids.append(tld_id)
+        for info in store.segments():
+            ids, times, counts = store.mmap_segment(info)
+            if len(ids) and int(ids.max()) >= len(self._domains):
+                raise CorruptArchiveError(
+                    store.directory / "segments" / info.name,
+                    "segment references a domain id beyond the sidecar table",
+                )
+            self._chunks.append((ids, times, counts))
+            self._n_rows += len(ids)
+        if self._n_rows:
+            self._generation = 1
+        expected = store.meta.get("store_fingerprint")
+        if expected is not None and self.fingerprint() != expected:
+            raise CorruptArchiveError(
+                store.directory,
+                "recovered store fingerprint does not match manifest",
+            )
+
+    def _domains_sidecar_bytes(self) -> bytes:
+        """Serialize the domain table + aggregates for the sidecar."""
+        first_seen, last_seen, totals = self._aggregate_columns()
+        buffer = _stdio.BytesIO()
+        np.savez_compressed(
+            buffer,
+            domains=np.asarray(
+                [str(d) for d in self._domains], dtype=object
+            ),
+            first_seen=first_seen,
+            last_seen=last_seen,
+            totals=totals,
+        )
+        return buffer.getvalue()
+
+    def spill_commit(self, meta: Optional[Dict[str, Any]] = None) -> int:
+        """Seal and commit the current contents as a new generation.
+
+        Seals the tail into one last segment, writes the domain-table
+        sidecar, and commits a manifest whose ``meta`` carries the
+        caller's payload plus the store fingerprint (verified on the
+        next open).  Returns the committed generation number.
+        """
+        if self._spill is None:
+            raise ConfigError("store was not opened with spill_dir")
+        self._seal_tail()
+        self._spill.write_sidecar("domains", self._domains_sidecar_bytes())
+        manifest_meta = dict(meta or {})
+        manifest_meta["store_fingerprint"] = self.fingerprint()
+        manifest_meta["rows"] = int(self._n_rows)
+        manifest_meta["domains"] = len(self._domains)
+        return self._spill.commit(manifest_meta)
+
+    def copy_rows_into(self, target: "PassiveDnsDatabase") -> None:
+        """Replay every stored row into ``target``, part by part.
+
+        The batched counterpart of feeding :meth:`iter_observations`
+        through ``target.ingest``: domains are bulk-interned once and
+        each immutable part lands via :meth:`add_batch`, so migrating
+        a store into (or out of) a spill-backed one never loops rows
+        in Python.  Insertion order is preserved, so the target's
+        :meth:`fingerprint` matches this store's.
+        """
+        if not self._domains:
+            return
+        id_map = target.intern_many(self._domains)
+        for ids, times, counts in self._parts():
+            target.add_batch(id_map[ids], times, counts)
+
     # -- replay / integrity ------------------------------------------------
 
     def iter_observations(self, sensor_id: str = "replay") -> Iterator[DnsObservation]:
@@ -455,18 +681,18 @@ class PassiveDnsDatabase:
         fault-free pipeline reproduces the store exactly — the entry
         point for the fault-sweep and checkpoint/resume machinery.
         """
-        ids, times, counts = self._columns()
         domains = self._domains
-        for domain_id, timestamp, count in zip(
-            ids.tolist(), times.tolist(), counts.tolist()
-        ):
-            yield DnsObservation(
-                qname=domains[domain_id],
-                rcode=RCode.NXDOMAIN,
-                timestamp=timestamp,
-                sensor_id=sensor_id,
-                count=count,
-            )
+        for ids, times, counts in self._parts():
+            for domain_id, timestamp, count in zip(
+                ids.tolist(), times.tolist(), counts.tolist()
+            ):
+                yield DnsObservation(
+                    qname=domains[domain_id],
+                    rcode=RCode.NXDOMAIN,
+                    timestamp=timestamp,
+                    sensor_id=sensor_id,
+                    count=count,
+                )
 
     def fingerprint(self) -> str:
         """Order-insensitive SHA-256 of the store's contents.
@@ -535,23 +761,24 @@ class PassiveDnsDatabase:
         return dict(self._cached(("monthly",), self._build_monthly_series))
 
     def _build_monthly_series(self) -> Dict[str, int]:
-        _, times, counts = self._columns()
         series: Dict[str, int] = {}
-        if len(times) == 0:
-            return series
         # Bucket by month via 30.44-day bins would drift; instead map
         # each distinct day to its month key once (cheap: few thousand
-        # distinct days over the study window).
-        days = times // SECONDS_PER_DAY
-        unique_days, inverse = np.unique(days, return_inverse=True)
-        day_to_month = [
-            month_key(int(day) * SECONDS_PER_DAY) for day in unique_days
-        ]
-        sums = np.zeros(len(unique_days), dtype=np.int64)
-        np.add.at(sums, inverse, counts)
-        for day_index, total in enumerate(sums):
-            month = day_to_month[day_index]
-            series[month] = series.get(month, 0) + int(total)
+        # distinct days over the study window).  Per-day sums stream
+        # over the parts so a spill-backed store never concatenates;
+        # the final ascending-day walk reproduces the single-pass
+        # insertion order exactly.
+        day_sums: Dict[int, int] = {}
+        for _, times, counts in self._parts():
+            days = times // SECONDS_PER_DAY
+            unique_days, inverse = np.unique(days, return_inverse=True)
+            sums = np.zeros(len(unique_days), dtype=np.int64)
+            np.add.at(sums, inverse, counts)
+            for day, total in zip(unique_days.tolist(), sums.tolist()):
+                day_sums[day] = day_sums.get(day, 0) + total
+        for day in sorted(day_sums):
+            month = month_key(day * SECONDS_PER_DAY)
+            series[month] = series.get(month, 0) + day_sums[day]
         return series
 
     def tld_histogram(self) -> Dict[str, Tuple[int, int]]:
@@ -618,12 +845,11 @@ class PassiveDnsDatabase:
         series = np.zeros(n_days, dtype=np.int64)
         if domain_id is None or n_days == 0:
             return series
-        _, times, counts = self._columns()
         rows = self._rows_for(domain_id)
-        row_times = times[rows]
+        row_times, row_counts = self._gather_rows(rows)
         mask = (row_times >= start) & (row_times < end)
         offsets = (row_times[mask] - start) // SECONDS_PER_DAY
-        np.add.at(series, offsets, counts[rows][mask])
+        np.add.at(series, offsets, row_counts[mask])
         return series
 
     def _daily_series_scan(
@@ -688,20 +914,27 @@ class PassiveDnsDatabase:
     def _build_lifespan_decay(
         self, max_days: int
     ) -> Tuple[np.ndarray, np.ndarray]:
-        ids, times, counts = self._columns()
         domains_series = np.zeros(max_days, dtype=np.int64)
         queries_series = np.zeros(max_days, dtype=np.int64)
-        if len(ids) == 0:
-            return domains_series, queries_series
         first_seen = self._first_seen.view()
-        offsets = (times - first_seen[ids]) // SECONDS_PER_DAY
-        in_window = (offsets >= 0) & (offsets < max_days)
-        np.add.at(queries_series, offsets[in_window], counts[in_window])
-        # Distinct domains per offset: unique (offset, domain) pairs.
-        pair_keys = offsets[in_window] * np.int64(len(self._domains)) + ids[in_window]
-        unique_pairs = np.unique(pair_keys)
-        pair_offsets = unique_pairs // len(self._domains)
-        np.add.at(domains_series, pair_offsets, 1)
+        # Stream the parts: query sums accumulate directly; distinct
+        # domains per offset need unique (offset, domain) pairs, so
+        # per-part uniques are pooled and deduplicated globally (the
+        # pool holds unique pairs only, far fewer than rows).
+        pair_pool: List[np.ndarray] = []
+        for ids, times, counts in self._parts():
+            offsets = (times - first_seen[ids]) // SECONDS_PER_DAY
+            in_window = (offsets >= 0) & (offsets < max_days)
+            np.add.at(queries_series, offsets[in_window], counts[in_window])
+            pair_keys = (
+                offsets[in_window] * np.int64(len(self._domains))
+                + ids[in_window]
+            )
+            pair_pool.append(np.unique(pair_keys))
+        if pair_pool:
+            unique_pairs = np.unique(np.concatenate(pair_pool))
+            pair_offsets = unique_pairs // len(self._domains)
+            np.add.at(domains_series, pair_offsets, 1)
         return domains_series, queries_series
 
     def timeline_around(

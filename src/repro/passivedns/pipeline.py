@@ -19,7 +19,12 @@ Guarantees:
 - transient store failures never lose data: retries, then dead-letter
   replay, recover every observation the drop injector did not claim;
 - long ingests can checkpoint to disk and resume, fast-forwarding the
-  schedule's RNG streams to continue the interrupted trajectory.
+  schedule's RNG streams to continue the interrupted trajectory;
+- with ``spill_dir=`` the store is backed by the crash-safe
+  :class:`~repro.passivedns.spill.SpillStore` and each checkpoint is a
+  manifest-generation commit — an injected crash at any write boundary
+  rolls back to the last committed generation on resume, never to a
+  torn archive.
 """
 
 from __future__ import annotations
@@ -91,11 +96,24 @@ class ResilientIngestPipeline:
         clock: Optional[SimClock] = None,
         checkpoint_dir: Optional[PathLike] = None,
         checkpoint_every: int = 0,
+        spill_dir: Optional[PathLike] = None,
+        spill_faults: Optional[object] = None,
     ) -> None:
         if checkpoint_every < 0:
             raise ConfigError("checkpoint_every must be non-negative")
-        if checkpoint_every > 0 and checkpoint_dir is None:
+        if checkpoint_every > 0 and checkpoint_dir is None and spill_dir is None:
             raise ConfigError("checkpoint_every requires a checkpoint_dir")
+        if spill_dir is not None:
+            # A spill-backed store checkpoints into its own directory:
+            # a manifest-generation commit *is* the checkpoint, so a
+            # second target would split the durability state in two.
+            if checkpoint_dir is not None and str(checkpoint_dir) != str(
+                spill_dir
+            ):
+                raise ConfigError(
+                    "spill_dir and checkpoint_dir must agree when both set"
+                )
+            checkpoint_dir = spill_dir
         self.schedule = schedule
         self.retry_policy = (
             retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
@@ -106,7 +124,11 @@ class ResilientIngestPipeline:
         self.checkpoint_every = checkpoint_every
         self.stats = PipelineStats()
         self.dead_letters = DeadLetterQueue(capacity=dead_letter_capacity)
-        self.database = PassiveDnsDatabase(deduplicate=deduplicate)
+        self.database = PassiveDnsDatabase(
+            deduplicate=deduplicate,
+            spill_dir=spill_dir,
+            spill_faults=spill_faults,
+        )
         self.channel = SieChannel(
             error_policy=DeliveryErrorPolicy.DEAD_LETTER,
             dead_letters=self.dead_letters,
@@ -218,10 +240,17 @@ class ResilientIngestPipeline:
         return replay
 
     def finish(self) -> PipelineStats:
-        """Flush, replay dead letters, take a final checkpoint."""
+        """Flush, replay dead letters, take a final checkpoint.
+
+        A spill-backed pipeline always checkpoints here even when
+        periodic checkpoints are off: the final manifest-generation
+        commit is what makes the ingested store durable at all.
+        """
         self.flush()
         self.replay_dead_letters()
-        if self.checkpoint_dir is not None and self.checkpoint_every > 0:
+        if self.checkpoint_dir is not None and (
+            self.checkpoint_every > 0 or self.database.spill is not None
+        ):
             self.checkpoint()
         return self.stats
 

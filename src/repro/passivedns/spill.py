@@ -1,0 +1,801 @@
+"""Crash-safe on-disk chunk spill: the durable segment store.
+
+The paper's 8-year, 146 B-record Farsight store outlives any single
+process; this module gives the columnar substrate the same property.
+A :class:`SpillStore` owns a directory holding immutable row segments
+(`.npy`, memory-mapped on read) described by a journaled, checksummed,
+monotonically versioned JSON manifest:
+
+```
+<dir>/
+  CURRENT                  name of the committed manifest (atomic swap)
+  manifest-0000003.json    one per committed generation (self-checksummed)
+  journal.log              append-only intent records (JSONL, fsync'd)
+  segments/seg-0000001.npy immutable (3, n) int64 row triples
+  quarantine/              damaged/orphaned files moved aside on open
+```
+
+Commit protocol (every arrow is a separate durability boundary):
+
+1. append a ``segment-intent`` journal line → write the segment to a
+   same-directory temp file → fsync → ``os.replace`` → fsync dir;
+2. append a ``commit-intent`` line → write ``manifest-<gen>.json``
+   (tmp+fsync+rename) → swap ``CURRENT`` (tmp+fsync+rename) → append a
+   ``commit`` line.
+
+:meth:`SpillStore.open` is the recovery scan: it verifies every
+manifest's self-checksum and every referenced segment's CRC32/size,
+quarantines torn manifests, damaged segments, orphaned temp files and
+uncommitted segments into ``quarantine/`` with a typed
+:class:`RecoveryReport`, and resumes from the newest fully consistent
+generation.  It never returns silently wrong data: what it serves
+passed every checksum, and everything else is named in the report.
+
+All durable IO flows through :class:`_DurableIo`, whose boundaries an
+optional storage fault injector (``repro.faults.injectors``:
+``TornWriteInjector`` / ``BitFlipInjector`` / ``FsyncLossInjector``)
+can corrupt or kill — the deterministic crash-at-every-write-boundary
+harness in ``tests/passivedns/test_spill.py`` drives exactly that.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import re
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigError, CorruptArchiveError
+
+SPILL_FORMAT_VERSION = 1
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+_MANIFEST_RE = re.compile(r"^manifest-(\d{7})\.json$")
+_SEGMENT_RE = re.compile(r"^seg-(\d{7})\.npy$")
+_SIDECAR_RE = re.compile(r"^(?:[a-z]+)-(\d{7})\.bin$")
+
+
+# ---------------------------------------------------------------------------
+# atomic file primitives (shared with repro.passivedns.io)
+# ---------------------------------------------------------------------------
+
+
+def fsync_directory(directory: PathLike) -> None:
+    """Flush a directory entry so renames inside it are durable.
+
+    Best-effort on platforms that cannot open directories (Windows);
+    on POSIX this is the step that makes ``os.replace`` crash-safe.
+    """
+    try:
+        fd = os.open(os.fspath(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` without ever exposing a torn file.
+
+    Same-directory temp file, flush, fsync, then ``os.replace`` and a
+    directory fsync — a crash at any point leaves either the old
+    content or the new content, never a prefix.
+    """
+    target = Path(path)
+    tmp = target.parent / (target.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+    fsync_directory(target.parent)
+
+
+class _DurableIo:
+    """Every durable write of a spill directory, behind fault hooks.
+
+    With no injector this is plain tmp+fsync+rename IO.  With one, each
+    call below reports its boundaries to ``injector.decide`` and applies
+    the returned :class:`~repro.faults.injectors.FaultAction` — torn
+    payloads, flipped bits, lost fsyncs (the file rolls back to its
+    pre-write content), and crashes before/after any boundary.
+    """
+
+    def __init__(self, injector: Optional[Any] = None) -> None:
+        self.injector = injector
+        #: Pre-write file contents, kept only under injection so a lost
+        #: fsync can roll the file back (None = file did not exist).
+        self._pre: Dict[str, Optional[bytes]] = {}
+
+    # -- boundary plumbing --------------------------------------------------
+
+    def _boundary(self, op: str, path: Path, data: Optional[bytes]) -> bytes:
+        """Run one boundary: consult the injector, apply its action."""
+        if self.injector is None:
+            return data if data is not None else b""
+        action = self.injector.decide(op, str(path), len(data or b""))
+        if action.crash_before:
+            self.injector.crash(f"before {op} {path.name}")
+        mutated = data if data is not None else b""
+        if action.truncate_to is not None:
+            mutated = mutated[: action.truncate_to]
+        if action.flip is not None and mutated:
+            position, mask = action.flip
+            buffer = bytearray(mutated)
+            buffer[position % len(buffer)] ^= mask
+            mutated = bytes(buffer)
+        if action.lose and op == "fsync":
+            self._rollback(path)
+        self._apply(op, path, mutated)
+        if action.crash_after:
+            self.injector.crash(f"after {op} {path.name}")
+        return mutated
+
+    def _apply(self, op: str, path: Path, data: bytes) -> None:
+        if op == "write":
+            self._snapshot(path)
+            with open(path, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+        elif op == "append":
+            self._snapshot(path)
+            with open(path, "ab") as handle:
+                handle.write(data)
+                handle.flush()
+        elif op == "fsync":
+            if path.exists():
+                with open(path, "rb+") as handle:
+                    os.fsync(handle.fileno())
+            self._pre.pop(str(path), None)
+        elif op == "dirsync":
+            fsync_directory(path)
+
+    def _snapshot(self, path: Path) -> None:
+        """Record pre-write content once per unsynced write window."""
+        if self.injector is None:
+            return
+        key = str(path)
+        if key not in self._pre:
+            self._pre[key] = path.read_bytes() if path.exists() else None
+
+    def _rollback(self, path: Path) -> None:
+        """Undo writes whose fsync was injected away."""
+        previous = self._pre.pop(str(path), None)
+        if previous is None:
+            if path.exists():
+                path.unlink()
+        else:
+            path.write_bytes(previous)
+
+    # -- public operations --------------------------------------------------
+
+    def write_atomic(self, path: Path, data: bytes) -> None:
+        """Injected counterpart of :func:`atomic_write_bytes`."""
+        if self.injector is None:
+            atomic_write_bytes(path, data)
+            return
+        tmp = path.parent / (path.name + ".tmp")
+        self._boundary("write", tmp, data)
+        self._boundary("fsync", tmp, None)
+        action = self.injector.decide("replace", str(path), 0)
+        if action.crash_before:
+            self.injector.crash(f"before replace {path.name}")
+        os.replace(tmp, path)
+        self._pre.pop(str(tmp), None)
+        if action.crash_after:
+            self.injector.crash(f"after replace {path.name}")
+        self._boundary("dirsync", path.parent, None)
+
+    def append_line(self, path: Path, line: str) -> None:
+        """Append one journal line durably (append + fsync boundaries)."""
+        payload = (line + "\n").encode("utf-8")
+        if self.injector is None:
+            with open(path, "ab") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            return
+        self._boundary("append", path, payload)
+        self._boundary("fsync", path, None)
+
+
+# ---------------------------------------------------------------------------
+# manifest / report record types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """One immutable on-disk row segment."""
+
+    name: str
+    rows: int
+    crc32: int
+
+    def to_json(self) -> List[Any]:
+        """Compact manifest form."""
+        return [self.name, self.rows, self.crc32]
+
+    @classmethod
+    def from_json(cls, payload: List[Any]) -> "SegmentInfo":
+        """Inverse of :meth:`to_json`."""
+        return cls(str(payload[0]), int(payload[1]), int(payload[2]))
+
+
+@dataclass(frozen=True)
+class SidecarInfo:
+    """A named auxiliary blob committed alongside the segments.
+
+    The database layer stores its interned domain table here; the
+    spill store only knows the blob's name and checksum.
+    """
+
+    name: str
+    size: int
+    crc32: int
+
+    def to_json(self) -> List[Any]:
+        """Compact manifest form."""
+        return [self.name, self.size, self.crc32]
+
+    @classmethod
+    def from_json(cls, payload: List[Any]) -> "SidecarInfo":
+        """Inverse of :meth:`to_json`."""
+        return cls(str(payload[0]), int(payload[1]), int(payload[2]))
+
+
+@dataclass(frozen=True)
+class QuarantineEntry:
+    """One file the recovery scan moved aside, and why."""
+
+    #: Original name relative to the spill directory.
+    path: str
+    #: ``torn-manifest`` | ``damaged-segment`` | ``damaged-sidecar`` |
+    #: ``orphan-segment`` | ``orphan-sidecar`` | ``orphan-temp``
+    kind: str
+    detail: str = ""
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`SpillStore.open` found and did."""
+
+    #: Generation actually recovered (0 = empty store).
+    generation: int = 0
+    #: Generations whose manifests existed but could not be served.
+    rejected_generations: List[int] = field(default_factory=list)
+    quarantined: List[QuarantineEntry] = field(default_factory=list)
+    #: The journal ended mid-record (a torn append) — informational.
+    torn_journal_tail: bool = False
+    #: Journal intents with no committed outcome (labels the orphans).
+    unfinished_intents: List[str] = field(default_factory=list)
+
+    def clean(self) -> bool:
+        """True when recovery found nothing to repair or quarantine."""
+        return (
+            not self.quarantined
+            and not self.rejected_generations
+            and not self.torn_journal_tail
+        )
+
+    def summary(self) -> str:
+        """One-line operator summary."""
+        return (
+            f"recovered generation {self.generation}; "
+            f"{len(self.quarantined)} file(s) quarantined, "
+            f"{len(self.rejected_generations)} generation(s) rejected"
+        )
+
+
+@dataclass(frozen=True)
+class _Manifest:
+    """A parsed, checksum-verified manifest file."""
+
+    generation: int
+    segments: Tuple[SegmentInfo, ...]
+    sidecars: Tuple[SidecarInfo, ...]
+    meta: Dict[str, Any]
+
+
+def _crc32(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def _stream_crc32(path: Path) -> int:
+    """CRC32 of a file's bytes, streamed (segments can be large)."""
+    crc = 0
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(1 << 20)
+            if not block:
+                return crc & 0xFFFFFFFF
+            crc = zlib.crc32(block, crc)
+
+
+# ---------------------------------------------------------------------------
+# the store
+# ---------------------------------------------------------------------------
+
+
+class SpillStore:
+    """A crash-safe, append-only segment store under one directory.
+
+    Use :meth:`open` (which creates an empty store on a fresh
+    directory and runs the recovery scan on an existing one), then
+    :meth:`append_segment` / :meth:`write_sidecar` to stage data and
+    :meth:`commit` to make a new generation durable.  Uncommitted
+    stages are lost on crash — by design: the commit is the
+    checkpoint boundary.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        io_layer: _DurableIo,
+        manifest: Optional[_Manifest],
+        report: RecoveryReport,
+        next_segment: int,
+        next_sidecar: int,
+    ) -> None:
+        self.directory = directory
+        self._io = io_layer
+        self._segments: List[SegmentInfo] = (
+            list(manifest.segments) if manifest else []
+        )
+        self._sidecars: Dict[str, SidecarInfo] = {
+            _sidecar_kind(s.name): s for s in (manifest.sidecars if manifest else ())
+        }
+        self.generation = manifest.generation if manifest else 0
+        self.meta: Dict[str, Any] = dict(manifest.meta) if manifest else {}
+        self.last_recovery = report
+        self._next_segment = next_segment
+        self._next_sidecar = next_sidecar
+        #: Segments staged since the last commit (already on disk,
+        #: referenced by no manifest yet).
+        self._pending: List[SegmentInfo] = []
+
+    # -- opening ------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls, directory: PathLike, faults: Optional[Any] = None
+    ) -> "SpillStore":
+        """Open (or initialize) a spill directory, recovering if needed.
+
+        Raises :class:`CorruptArchiveError` when ``directory`` exists
+        but is not a spill store (e.g. it is a file, or holds foreign
+        content where the layout should be).
+        """
+        root = Path(directory)
+        if root.exists() and not root.is_dir():
+            raise CorruptArchiveError(root, "spill path is not a directory")
+        segments_dir = root / "segments"
+        quarantine_dir = root / "quarantine"
+        segments_dir.mkdir(parents=True, exist_ok=True)
+        quarantine_dir.mkdir(parents=True, exist_ok=True)
+        io_layer = _DurableIo(faults)
+        report = RecoveryReport()
+        journal_intents = cls._scan_journal(root, report)
+        manifests = cls._scan_manifests(root, quarantine_dir, report)
+        chosen = cls._choose_generation(
+            root, manifests, quarantine_dir, report
+        )
+        cls._quarantine_strays(
+            root,
+            segments_dir,
+            quarantine_dir,
+            [manifest for _, manifest in manifests],
+            report,
+            journal_intents,
+        )
+        report.generation = chosen.generation if chosen else 0
+        next_segment, next_sidecar = cls._next_counters(root, journal_intents)
+        return cls(
+            root, io_layer, chosen, report, next_segment, next_sidecar
+        )
+
+    @staticmethod
+    def _scan_journal(root: Path, report: RecoveryReport) -> List[Dict[str, Any]]:
+        """Parse journal.log tolerantly; a torn tail is reported, not fatal."""
+        journal = root / "journal.log"
+        intents: List[Dict[str, Any]] = []
+        if not journal.exists():
+            return intents
+        raw = journal.read_bytes().decode("utf-8", errors="replace")
+        lines = raw.split("\n")
+        committed: set = set()
+        for index, line in enumerate(lines):
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # Only the final record can legitimately be torn; any
+                # earlier damage is still just reported — the journal
+                # is advisory, manifests/checksums are authoritative.
+                report.torn_journal_tail = True
+                continue
+            if not isinstance(record, dict):
+                report.torn_journal_tail = True
+                continue
+            intents.append(record)
+            if record.get("op") == "commit":
+                committed.add(int(record.get("generation", -1)))
+        for record in intents:
+            if (
+                record.get("op") == "commit-intent"
+                and int(record.get("generation", -1)) not in committed
+            ):
+                report.unfinished_intents.append(
+                    f"commit-intent generation {record.get('generation')}"
+                )
+        return intents
+
+    @staticmethod
+    def _scan_manifests(
+        root: Path, quarantine_dir: Path, report: RecoveryReport
+    ) -> List[Tuple[Path, _Manifest]]:
+        """Load every manifest file, quarantining the unverifiable ones."""
+        found: List[Tuple[Path, _Manifest]] = []
+        for path in sorted(root.glob("manifest-*.json")):
+            if not _MANIFEST_RE.match(path.name):
+                continue
+            try:
+                manifest = _parse_manifest(path.read_bytes())
+            except CorruptArchiveError as error:
+                _quarantine(path, quarantine_dir)
+                report.quarantined.append(
+                    QuarantineEntry(path.name, "torn-manifest", error.detail)
+                )
+                continue
+            found.append((path, manifest))
+        found.sort(key=lambda item: item[1].generation)
+        return found
+
+    @classmethod
+    def _choose_generation(
+        cls,
+        root: Path,
+        manifests: List[Tuple[Path, _Manifest]],
+        quarantine_dir: Path,
+        report: RecoveryReport,
+    ) -> Optional[_Manifest]:
+        """Newest generation whose segments and sidecars all verify.
+
+        A generation that references a damaged file is rejected (the
+        damaged file quarantined) and the scan falls back to the next
+        older one; segments shared with the survivor are of course
+        kept.  ``CURRENT`` is advisory — a lost swap must not hide a
+        fully committed newer manifest, and a torn ``CURRENT`` must
+        not take the store down.
+        """
+        damaged: set = set()
+        for path, manifest in reversed(manifests):
+            bad: List[QuarantineEntry] = []
+            for segment in manifest.segments:
+                problem = _verify_segment(root / "segments" / segment.name, segment)
+                if problem is not None:
+                    bad.append(
+                        QuarantineEntry(
+                            f"segments/{segment.name}", "damaged-segment", problem
+                        )
+                    )
+            for sidecar in manifest.sidecars:
+                problem = _verify_sidecar(root / sidecar.name, sidecar)
+                if problem is not None:
+                    bad.append(
+                        QuarantineEntry(sidecar.name, "damaged-sidecar", problem)
+                    )
+            if not bad:
+                return manifest
+            report.rejected_generations.append(manifest.generation)
+            for entry in bad:
+                if entry.path in damaged:
+                    continue
+                damaged.add(entry.path)
+                target = root / entry.path
+                if target.exists():
+                    _quarantine(target, quarantine_dir)
+                report.quarantined.append(entry)
+        return None
+
+    @staticmethod
+    def _quarantine_strays(
+        root: Path,
+        segments_dir: Path,
+        quarantine_dir: Path,
+        manifests: List[_Manifest],
+        report: RecoveryReport,
+        journal_intents: List[Dict[str, Any]],
+    ) -> None:
+        """Move aside temp files and uncommitted segments/sidecars.
+
+        A file referenced by *any* checksum-valid manifest is kept —
+        older generations are the fallback chain for future recoveries
+        — so only files no committed manifest ever named (uncommitted
+        stages from a crashed writer) are moved aside.
+        """
+        referenced = {s.name for m in manifests for s in m.segments}
+        sidecar_names = {s.name for m in manifests for s in m.sidecars}
+        intended = {
+            str(record.get("name"))
+            for record in journal_intents
+            if record.get("op") in ("segment-intent", "sidecar-intent")
+        }
+        for path in sorted(root.rglob("*.tmp")):
+            if quarantine_dir in path.parents:
+                continue
+            relative = path.relative_to(root).as_posix()
+            _quarantine(path, quarantine_dir)
+            report.quarantined.append(
+                QuarantineEntry(relative, "orphan-temp", "interrupted write")
+            )
+        for path in sorted(segments_dir.glob("seg-*.npy")):
+            if path.name in referenced:
+                continue
+            detail = (
+                "journaled intent, never committed"
+                if path.name in intended
+                else "referenced by no committed manifest"
+            )
+            _quarantine(path, quarantine_dir)
+            report.quarantined.append(
+                QuarantineEntry(f"segments/{path.name}", "orphan-segment", detail)
+            )
+        for path in sorted(root.glob("*.bin")):
+            if path.name in sidecar_names:
+                continue
+            detail = (
+                "journaled intent, never committed"
+                if path.name in intended
+                else "referenced by no committed manifest"
+            )
+            _quarantine(path, quarantine_dir)
+            report.quarantined.append(
+                QuarantineEntry(path.name, "orphan-sidecar", detail)
+            )
+
+    @staticmethod
+    def _next_counters(
+        root: Path, journal_intents: List[Dict[str, Any]]
+    ) -> Tuple[int, int]:
+        """Counters strictly above anything ever named, even quarantined."""
+        highest_segment = 0
+        highest_sidecar = 0
+        candidates = [
+            path.name
+            for path in list(root.rglob("seg-*.npy"))
+            + list(root.glob("*.bin"))
+            + list((root / "quarantine").glob("*"))
+        ]
+        candidates.extend(
+            str(record.get("name", ""))
+            for record in journal_intents
+            if record.get("op") in ("segment-intent", "sidecar-intent")
+        )
+        for name in candidates:
+            match = _SEGMENT_RE.match(name)
+            if match:
+                highest_segment = max(highest_segment, int(match.group(1)))
+            match = _SIDECAR_RE.match(name)
+            if match:
+                highest_sidecar = max(highest_sidecar, int(match.group(1)))
+        return highest_segment + 1, highest_sidecar + 1
+
+    # -- reading ------------------------------------------------------------
+
+    def segments(self) -> List[SegmentInfo]:
+        """Committed + staged segments, in append order."""
+        return list(self._segments) + list(self._pending)
+
+    def row_count(self) -> int:
+        """Total rows across committed and staged segments."""
+        return sum(info.rows for info in self.segments())
+
+    def mmap_segment(
+        self, info: SegmentInfo
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Memory-map one segment as its (ids, times, counts) triple."""
+        path = self.directory / "segments" / info.name
+        try:
+            stacked = np.load(path, mmap_mode="r")
+        except (OSError, ValueError) as error:
+            raise CorruptArchiveError(path, f"unreadable segment: {error}")
+        if stacked.ndim != 2 or stacked.shape[0] != 3:
+            raise CorruptArchiveError(
+                path, f"segment has shape {stacked.shape}, expected (3, n)"
+            )
+        return stacked[0], stacked[1], stacked[2]
+
+    def read_sidecar(self, kind: str) -> Optional[bytes]:
+        """The named sidecar's verified bytes (None when absent)."""
+        info = self._sidecars.get(kind)
+        if info is None:
+            return None
+        path = self.directory / info.name
+        data = path.read_bytes()
+        if _crc32(data) != info.crc32:
+            raise CorruptArchiveError(path, "sidecar checksum mismatch")
+        return data
+
+    # -- writing ------------------------------------------------------------
+
+    def append_segment(
+        self, ids: np.ndarray, times: np.ndarray, counts: np.ndarray
+    ) -> SegmentInfo:
+        """Stage one immutable row segment (durable but uncommitted)."""
+        if not (len(ids) == len(times) == len(counts)):
+            raise ConfigError("segment columns must have equal length")
+        if len(ids) == 0:
+            raise ConfigError("cannot spill an empty segment")
+        stacked = np.vstack(
+            [
+                np.ascontiguousarray(ids, dtype=np.int64),
+                np.ascontiguousarray(times, dtype=np.int64),
+                np.ascontiguousarray(counts, dtype=np.int64),
+            ]
+        )
+        buffer = io.BytesIO()
+        np.save(buffer, stacked)
+        data = buffer.getvalue()
+        name = f"seg-{self._next_segment:07d}.npy"
+        self._next_segment += 1
+        info = SegmentInfo(name=name, rows=len(ids), crc32=_crc32(data))
+        self._journal(
+            {"op": "segment-intent", "name": name, "rows": info.rows}
+        )
+        path = self.directory / "segments" / name
+        self._io.write_atomic(path, data)
+        # Read-back verification: the segment is memory-mapped into
+        # service immediately, so a write corrupted in flight (a
+        # flipped bit, a short write) must be caught *here*, not at
+        # the next open.  At-rest rot is still the recovery scan's job.
+        written = _stream_crc32(path)
+        if written != info.crc32:
+            raise CorruptArchiveError(
+                path,
+                "post-write verification failed "
+                f"(expected {info.crc32:#010x}, file {written:#010x})",
+            )
+        self._pending.append(info)
+        return info
+
+    def write_sidecar(self, kind: str, data: bytes) -> SidecarInfo:
+        """Stage a named auxiliary blob for the next commit."""
+        if not kind.isalpha() or not kind.islower():
+            raise ConfigError("sidecar kind must be a lowercase word")
+        name = f"{kind}-{self._next_sidecar:07d}.bin"
+        self._next_sidecar += 1
+        info = SidecarInfo(name=name, size=len(data), crc32=_crc32(data))
+        self._journal({"op": "sidecar-intent", "name": name})
+        self._io.write_atomic(self.directory / name, data)
+        self._sidecars[kind] = info
+        return info
+
+    def commit(self, meta: Optional[Dict[str, Any]] = None) -> int:
+        """Make everything staged durable as a new generation.
+
+        Returns the committed generation number.  The manifest lands
+        via tmp+fsync+rename, then ``CURRENT`` swings to it — a crash
+        between the two leaves a fully valid manifest that recovery
+        still prefers (``CURRENT`` is advisory).
+        """
+        generation = self.generation + 1
+        segments = list(self._segments) + list(self._pending)
+        payload = {
+            "format": SPILL_FORMAT_VERSION,
+            "generation": generation,
+            "segments": [s.to_json() for s in segments],
+            "sidecars": [
+                self._sidecars[kind].to_json()
+                for kind in sorted(self._sidecars)
+            ],
+            "meta": dict(meta or {}),
+        }
+        encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+        document = json.dumps(
+            {"payload": payload, "checksum": _crc32(encoded)},
+            sort_keys=True,
+            indent=1,
+        ).encode("utf-8")
+        name = f"manifest-{generation:07d}.json"
+        self._journal(
+            {
+                "op": "commit-intent",
+                "generation": generation,
+                "segments": [s.name for s in self._pending],
+            }
+        )
+        self._io.write_atomic(self.directory / name, document)
+        self._io.write_atomic(self.directory / "CURRENT", (name + "\n").encode())
+        self._journal({"op": "commit", "generation": generation})
+        self.generation = generation
+        self._segments = segments
+        self._pending = []
+        self.meta = dict(meta or {})
+        return generation
+
+    def _journal(self, record: Dict[str, Any]) -> None:
+        self._io.append_line(
+            self.directory / "journal.log", json.dumps(record, sort_keys=True)
+        )
+
+
+def _sidecar_kind(name: str) -> str:
+    return name.split("-", 1)[0]
+
+
+def _quarantine(path: Path, quarantine_dir: Path) -> None:
+    """Move a damaged/orphaned file aside (never delete evidence)."""
+    target = quarantine_dir / path.name
+    suffix = 0
+    while target.exists():
+        suffix += 1
+        target = quarantine_dir / f"{path.name}.{suffix}"
+    os.replace(path, target)
+
+
+def _parse_manifest(data: bytes) -> _Manifest:
+    """Decode + checksum-verify one manifest document."""
+    try:
+        document = json.loads(data.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise CorruptArchiveError("<manifest>", f"unparseable JSON: {error}")
+    if not isinstance(document, dict) or "payload" not in document:
+        raise CorruptArchiveError("<manifest>", "missing payload envelope")
+    payload = document["payload"]
+    encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+    if _crc32(encoded) != document.get("checksum"):
+        raise CorruptArchiveError("<manifest>", "manifest checksum mismatch")
+    if payload.get("format") != SPILL_FORMAT_VERSION:
+        raise CorruptArchiveError(
+            "<manifest>", f"unsupported spill format {payload.get('format')}"
+        )
+    return _Manifest(
+        generation=int(payload["generation"]),
+        segments=tuple(
+            SegmentInfo.from_json(item) for item in payload["segments"]
+        ),
+        sidecars=tuple(
+            SidecarInfo.from_json(item) for item in payload.get("sidecars", [])
+        ),
+        meta=dict(payload.get("meta", {})),
+    )
+
+
+def _verify_segment(path: Path, info: SegmentInfo) -> Optional[str]:
+    """None when the segment file is intact, else the failure detail."""
+    if not path.exists():
+        return "segment file missing"
+    crc = _stream_crc32(path)
+    if crc != info.crc32:
+        return f"checksum mismatch (manifest {info.crc32:#010x}, file {crc:#010x})"
+    try:
+        stacked = np.load(path, mmap_mode="r")
+    except (OSError, ValueError) as error:
+        return f"unreadable npy: {error}"
+    if stacked.ndim != 2 or stacked.shape[0] != 3 or stacked.shape[1] != info.rows:
+        return f"shape {stacked.shape} does not match manifest rows {info.rows}"
+    return None
+
+
+def _verify_sidecar(path: Path, info: SidecarInfo) -> Optional[str]:
+    """None when the sidecar file is intact, else the failure detail."""
+    if not path.exists():
+        return "sidecar file missing"
+    data = path.read_bytes()
+    if len(data) != info.size:
+        return f"size {len(data)} does not match manifest size {info.size}"
+    crc = _crc32(data)
+    if crc != info.crc32:
+        return f"checksum mismatch (manifest {info.crc32:#010x}, file {crc:#010x})"
+    return None

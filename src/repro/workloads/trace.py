@@ -30,9 +30,10 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -58,6 +59,8 @@ from repro.whois.history import WhoisHistoryDatabase
 from repro.whois.record import WhoisRecord
 
 STUDY_START_EPOCH = date_to_epoch(STUDY_START)
+
+PathLike = Union[str, "os.PathLike[str]"]
 STUDY_DAYS = 9 * 365  # 2014-2022 inclusive
 
 #: Figure 3's target year-over-year volume shape (what the paper
@@ -198,7 +201,10 @@ class TraceResult:
         return None
 
     def degraded(
-        self, plan: FaultPlan, seed: int
+        self,
+        plan: FaultPlan,
+        seed: int,
+        spill_dir: Optional[PathLike] = None,
     ) -> Tuple["TraceResult", PipelineStats]:
         """Replay the NX store through a faulted resilient pipeline.
 
@@ -208,12 +214,46 @@ class TraceResult:
         trace whose ``nx_db`` holds only what survived collection under
         those faults — the input for measuring how far §4's shape
         checks degrade at a given loss level.  A null plan reproduces
-        ``nx_db`` exactly (same fingerprint).
+        ``nx_db`` exactly (same fingerprint).  With ``spill_dir`` the
+        surviving store is backed by the crash-safe on-disk segment
+        store instead of staying resident.
         """
-        pipeline = ResilientIngestPipeline(schedule=plan.schedule(seed))
+        pipeline = ResilientIngestPipeline(
+            schedule=plan.schedule(seed), spill_dir=spill_dir
+        )
+        if pipeline.database.row_count():
+            # The replay assumes an empty target: restoring a prior
+            # run's committed rows and re-ingesting on top would
+            # double-count every surviving observation.
+            raise WorkloadError(
+                f"spill directory {spill_dir} already holds a committed "
+                "store; degraded replay needs a fresh directory"
+            )
         pipeline.ingest_many(self.nx_db.iter_observations())
         stats = pipeline.finish()
         return dataclasses.replace(self, nx_db=pipeline.database), stats
+
+    def spilled(self, spill_dir: PathLike) -> "TraceResult":
+        """A copy of this trace whose NX store is spill-backed.
+
+        A fresh (or empty) ``spill_dir`` receives a full batched
+        replay of ``nx_db`` and one committed manifest generation; a
+        directory already holding a committed store is reused as-is
+        when its fingerprint matches this trace (the resume path), and
+        rejected with :class:`~repro.errors.WorkloadError` otherwise —
+        silently analyzing someone else's store is never an option.
+        """
+        db = PassiveDnsDatabase(spill_dir=spill_dir)
+        if db.row_count() or db.unique_domains():
+            if db.fingerprint() != self.nx_db.fingerprint():
+                raise WorkloadError(
+                    f"spill directory {spill_dir} holds a different store "
+                    "(fingerprint mismatch with this trace)"
+                )
+        else:
+            self.nx_db.copy_rows_into(db)
+            db.spill_commit({"source": "trace-spill"})
+        return dataclasses.replace(self, nx_db=db)
 
 
 def _allocate_quotas(

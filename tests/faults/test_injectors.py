@@ -167,3 +167,82 @@ def test_log_fingerprint_tracks_content():
     assert a.fingerprint() == b.fingerprint()
     assert a.log.lines() == b.log.lines()
     assert a.summary() == b.summary()
+
+
+# -- storage-fault injectors (crash-at-a-write-boundary) --------------------
+
+
+def _storage(cls, at, seed=0):
+    from repro.faults.injectors import InjectionLog
+
+    return cls(make_rng(seed), InjectionLog(), at=at)
+
+
+def test_storage_probe_counts_boundaries_without_firing():
+    from repro.faults.injectors import StorageFaultInjector
+
+    probe = _storage(StorageFaultInjector, at=None)
+    for index in range(10):
+        action = probe.decide("write", f"/f{index}", 100)
+        assert not (action.crash_before or action.crash_after)
+        assert action.truncate_to is None and action.flip is None
+        assert not action.lose
+    assert probe.decisions == 10
+    assert not probe.fired
+
+
+def test_storage_injector_fires_exactly_once_at_pinned_boundary():
+    from repro.faults.injectors import TornWriteInjector
+
+    injector = _storage(TornWriteInjector, at=2)
+    assert not injector.decide("write", "/a", 10).crash_after
+    assert not injector.decide("fsync", "/a", 0).crash_before
+    action = injector.decide("write", "/b", 64)
+    assert injector.fired
+    assert action.crash_after and action.truncate_to is not None
+    assert 0 <= action.truncate_to < 64
+    # Later boundaries are untouched: the injector fires once.
+    follow_up = injector.decide("write", "/c", 64)
+    assert not (follow_up.crash_after or follow_up.crash_before)
+    assert follow_up.truncate_to is None
+
+
+def test_torn_write_crashes_before_non_byte_boundaries():
+    from repro.faults.injectors import TornWriteInjector
+
+    injector = _storage(TornWriteInjector, at=0)
+    assert injector.decide("replace", "/a", 0).crash_before
+
+
+def test_bit_flip_corrupts_without_crashing():
+    from repro.faults.injectors import BitFlipInjector
+
+    injector = _storage(BitFlipInjector, at=0)
+    action = injector.decide("write", "/a", 32)
+    assert action.flip is not None
+    position, mask = action.flip
+    assert 0 <= position < 32
+    assert mask and mask & (mask - 1) == 0  # single-bit mask
+    assert not (action.crash_before or action.crash_after)
+
+
+def test_fsync_loss_rolls_back_and_crashes():
+    from repro.faults.injectors import FsyncLossInjector
+
+    injector = _storage(FsyncLossInjector, at=0)
+    action = injector.decide("fsync", "/a", 0)
+    assert action.lose and action.crash_after
+
+
+def test_storage_injector_rejects_bad_inputs():
+    from repro.errors import InjectedCrashError
+    from repro.faults.injectors import StorageFaultInjector, TornWriteInjector
+
+    with pytest.raises(ConfigError):
+        _storage(StorageFaultInjector, at=-1)
+    injector = _storage(TornWriteInjector, at=0)
+    with pytest.raises(ConfigError):
+        injector.decide("chmod", "/a", 0)
+    with pytest.raises(InjectedCrashError):
+        injector.crash("unit-test")
+    assert injector.injected == 1

@@ -65,6 +65,69 @@ class TestDatabaseIo:
             load_database(path)
 
 
+class TestCorruptArchives:
+    """Torn/damaged persistence artifacts surface as typed errors."""
+
+    def test_truncated_npz_raises_typed_error(self, tmp_path):
+        from repro.errors import CorruptArchiveError
+
+        db = PassiveDnsDatabase()
+        db.add(D1, timestamp=0, count=2)
+        path = tmp_path / "store.npz"
+        save_database(db, path)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(CorruptArchiveError) as excinfo:
+            load_database(path)
+        assert str(path) in excinfo.value.path
+
+    def test_garbage_file_raises_typed_error(self, tmp_path):
+        from repro.errors import CorruptArchiveError
+
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(CorruptArchiveError):
+            load_database(path)
+
+    def test_missing_file_still_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_database(tmp_path / "absent.npz")
+
+    def test_save_database_is_atomic(self, tmp_path):
+        db = PassiveDnsDatabase()
+        db.add(D1, timestamp=0, count=1)
+        path = tmp_path / "store.npz"
+        save_database(db, path)
+        save_database(db, path)  # overwrite goes through the temp file
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert load_database(path).total_responses() == 1
+
+    def test_corrupt_checkpoint_manifest_raises_typed_error(self, tmp_path):
+        from repro.errors import CorruptArchiveError
+        from repro.passivedns.io import load_checkpoint, save_checkpoint
+
+        db = PassiveDnsDatabase()
+        db.add(D1, timestamp=0, count=1)
+        save_checkpoint(db, tmp_path, cursor=1)
+        (tmp_path / "checkpoint.json").write_text("{ torn json")
+        with pytest.raises(CorruptArchiveError):
+            load_checkpoint(tmp_path)
+
+    def test_checkpoint_fingerprint_mismatch_raises_typed_error(
+        self, tmp_path
+    ):
+        from repro.errors import CorruptArchiveError
+        from repro.passivedns.io import load_checkpoint, save_checkpoint
+
+        db = PassiveDnsDatabase()
+        db.add(D1, timestamp=0, count=1)
+        save_checkpoint(db, tmp_path, cursor=1)
+        other = PassiveDnsDatabase()
+        other.add(D2, timestamp=0, count=5)
+        save_database(other, tmp_path / "checkpoint.npz")
+        with pytest.raises(CorruptArchiveError):
+            load_checkpoint(tmp_path)
+
+
 class TestWhoisIo:
     def test_roundtrip(self, tmp_path):
         history = WhoisHistoryDatabase()
