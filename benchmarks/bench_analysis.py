@@ -4,7 +4,7 @@ Self-hosts the linter on this repository three ways and checks the
 engine-level performance contracts:
 
 - **cold** — empty cache: parse + walk every file, then the full
-  whole-program pass;
+  whole-program and effect passes;
 - **warm** — content-hash cache from the cold run: no file is
   re-parsed and the project pass is replayed from cached findings.
   Contract (CI-enforced): zero cache misses — structural, so shared
@@ -91,6 +91,11 @@ def timings():
         "parallel": (parallel_time, parallel_findings),
         "files": len(cache.files),
         "warm_misses": cache.misses,
+        "cache": cache,
+        "rule_ids": sorted(
+            rule.rule_id
+            for rule in analyzer.file_rules + analyzer.project_rules
+        ),
     }
 
 
@@ -124,6 +129,43 @@ def test_warm_run_is_incremental(timings):
             f"warm run took {ratio:.1%} of cold; the incremental cache "
             f"contract is < {WARM_COLD_MAX_RATIO:.0%}"
         )
+
+
+def test_three_pass_engine_is_fully_cached(timings):
+    """The effect pass rides the same cache as the other two passes.
+
+    Structural contracts: the resolved self-host ruleset includes the
+    whole REP20x family, every cached summary carries the effect-facts
+    key (so warm runs can replay the effect pass without re-parsing),
+    and at least one real module contributed non-empty effect facts.
+    """
+    rule_ids = set(timings["rule_ids"])
+    assert {f"REP20{n}" for n in range(1, 5)} <= rule_ids, (
+        "self-host run is missing the effect-rule pass"
+    )
+    cache = timings["cache"]
+    summarized = [
+        entry.summary
+        for entry in cache.files.values()
+        if entry.summary is not None
+    ]
+    assert summarized, "no module summaries were cached"
+    assert all("effects" in summary for summary in summarized), (
+        "cached summaries lack effect facts; warm runs would silently "
+        "skip the REP20x pass"
+    )
+    assert any(summary["effects"] for summary in summarized), (
+        "no cached summary carries any effect facts"
+    )
+    # Zero warm misses with effect summaries in the cache is asserted
+    # by test_warm_run_is_incremental over the same cache object.
+    cold_time, _ = timings["cold"]
+    warm_time, _ = timings["warm"]
+    print()
+    print(
+        f"three-pass warm/cold ratio with effect summaries cached: "
+        f"{warm_time / cold_time:.1%}"
+    )
 
 
 def test_parallel_run_matches_serial(timings):

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.dns.name import DomainName
 from repro.passivedns.database import PassiveDnsDatabase
+from repro.passivedns.spill import atomic_write_bytes
 from repro.rand import make_rng
 from repro.workloads.trace import NxdomainTraceGenerator, TraceConfig
 
@@ -148,7 +149,10 @@ def main(argv):
     default_out = Path(__file__).resolve().parents[1] / "BENCH_substrate.json"
     out = Path(argv[1]) if len(argv) > 1 else default_out
     snapshot = build_snapshot()
-    out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    # The committed copy is the regression anchor; never leave it torn.
+    atomic_write_bytes(
+        out, (json.dumps(snapshot, indent=2) + "\n").encode("utf-8")
+    )
     print(f"wrote {out}")
     for name, value in snapshot["contracts"].items():
         if value is False:

@@ -8,16 +8,21 @@ substrates independent of the study layer.  This package enforces
 those invariants statically, with zero third-party dependencies, using
 only :mod:`ast` and :mod:`tokenize`.
 
-The engine runs two passes.  The per-file pass walks each module's AST
-once, dispatching nodes to the REP001–REP008 rules.  The whole-program
-pass assembles every module's extracted facts into a
+The engine runs three passes.  The per-file pass walks each module's
+AST once, dispatching nodes to the REP001–REP008 rules.  The
+whole-program pass assembles every module's extracted facts into a
 :class:`~repro.analysis.project.ProjectModel` — resolved names, call
 graph, import graph — and hands it to the flow-sensitive REP101–REP104
 rules, which catch wall-clock reads and unseeded RNGs laundered
 through helpers, dynamic-import layering evasions, and dead exports.
-Per-file results are cached by content hash (warm runs re-analyze only
-changed files plus their dependency cone) and the per-file pass can
-fan out over worker processes.
+The effect pass runs the REP201–REP204 rules over per-function effect
+summaries (filesystem writes, caught exception types, shared-state
+mutations, thread/pool spawns) collected in the same single AST walk,
+enforcing atomic-write discipline, crash-signal propagation, worker
+isolation, and cache-generation hygiene.  Per-file results (including
+effect summaries) are cached by content hash (warm runs re-analyze
+only changed files plus their dependency cone) and the per-file pass
+can fan out over worker processes.
 
 Pieces:
 
@@ -29,12 +34,16 @@ Pieces:
   the call/import graphs, and taint propagation;
 - :mod:`repro.analysis.program_rules` — the whole-program
   REP101–REP104 rules;
+- :mod:`repro.analysis.effect_rules` — the effect-flow REP201–REP204
+  rules (durability, crash-exception, shared-state, cache-generation);
 - :mod:`repro.analysis.engine` — the two-pass engine, the process-pool
   fan-out, and ``# repro: noqa[RULE]`` suppression handling;
 - :mod:`repro.analysis.cache` — the content-hash incremental results
   cache;
 - :mod:`repro.analysis.baseline` — accepted-debt bookkeeping;
 - :mod:`repro.analysis.report` — text and versioned-JSON output;
+- :mod:`repro.analysis.sarif` — SARIF 2.1.0 export for code-scanning
+  CI upload;
 - :mod:`repro.analysis.main` — the driver behind ``repro-nxd lint``
   and ``python -m repro.analysis``.
 

@@ -10,9 +10,10 @@ code motion does not invalidate the baseline.
 from __future__ import annotations
 
 import json
+import os
 from collections import Counter
 from pathlib import Path
-from typing import List, Sequence, Tuple
+from typing import List, Sequence, Set, Tuple
 
 from repro.analysis.findings import Finding
 from repro.errors import ConfigError
@@ -57,7 +58,43 @@ def save_baseline(path: Path, findings: Sequence[Finding]) -> None:
         "tool": "repro.analysis",
         "findings": entries,
     }
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    # The baseline is committed state: a crash mid-write must leave
+    # either the old file or the new one, never a truncated hybrid.
+    # (The analysis package sits below repro.passivedns in the layer
+    # order, so the atomic dance is inlined rather than imported.)
+    data = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def update_baseline(
+    path: Path, findings: Sequence[Finding], rule_ids: Sequence[str]
+) -> int:
+    """Rewrite the baseline from the current findings.
+
+    Returns how many *stale* entries were pruned: baseline entries
+    (counted with multiplicity) whose rule id is no longer in the
+    resolved ruleset ``rule_ids``.  Entries for live rules whose
+    findings were fixed simply drop out of the rewrite and are not
+    counted — only ruleset drift is reported, so ``--update-baseline``
+    output distinguishes "debt paid down" from "rule retired".
+    """
+    live: Set[str] = set(rule_ids)
+    pruned = 0
+    if path.is_file():
+        try:
+            old = load_baseline(path)
+        except ConfigError:
+            old = Counter()
+        for fingerprint, count in old.items():
+            if fingerprint.split("::", 1)[0] not in live:
+                pruned += count
+    save_baseline(path, findings)
+    return pruned
 
 
 def apply_baseline(

@@ -28,7 +28,9 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.findings import ANALYZER_VERSION, Finding
 
-CACHE_FORMAT_VERSION = 1
+#: Bumped to 2 when module summaries grew per-function effect facts;
+#: v1 caches carry summaries without them and must never be replayed.
+CACHE_FORMAT_VERSION = 2
 
 
 def content_hash(source: str) -> str:
@@ -56,6 +58,8 @@ def ruleset_signature(
         "report_paths": sorted(config.report_paths),
         "reference_paths": sorted(config.reference_paths),
         "exclude": sorted(config.exclude),
+        "atomic_io_modules": sorted(config.atomic_io_modules),
+        "resilient_roots": sorted(config.resilient_roots),
     }
     return hashlib.sha256(
         json.dumps(payload, sort_keys=True).encode("utf-8")
@@ -184,7 +188,10 @@ def save_cache(path: Path, cache: AnalysisCache) -> None:
         "program_valid": cache.program_valid,
     }
     try:
-        path.write_text(
+        # Deliberately non-atomic: the cache is disposable state — a
+        # torn write fails the signature/JSON check and degrades to a
+        # cold run, so the fsync tax buys nothing here.
+        path.write_text(  # repro: noqa[REP201]
             json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8"
         )
     except OSError:

@@ -8,6 +8,8 @@ Defaults live here; projects override them in ``pyproject.toml``::
     disable = []
     baseline = "analysis-baseline.json"
     report-paths = ["src/repro/core/reports.py"]
+    atomic-io-modules = ["repro.passivedns.spill", "repro.passivedns.io"]
+    resilient-roots = ["repro.resilience", "repro.passivedns.pipeline"]
 
     [tool.repro.analysis.severity]
     REP008 = "warning"
@@ -38,6 +40,13 @@ DEFAULT_REPORT_PATHS = ("src/repro/core/reports.py",)
 DEFAULT_REFERENCE_PATHS = ("tests", "benchmarks", "examples")
 #: Per-file results cache written next to pyproject.toml.
 DEFAULT_CACHE = ".repro-analysis-cache.json"
+#: Modules whose raw filesystem writes are sanctioned: they implement
+#: the atomic tmp+fsync+replace discipline everything else must call.
+DEFAULT_ATOMIC_IO_MODULES = ("repro.passivedns.spill", "repro.passivedns.io")
+#: Module prefixes whose functions are retry/pipeline entry points:
+#: REP202 audits except-clauses reachable from them for swallowed
+#: crash-signal exceptions.
+DEFAULT_RESILIENT_ROOTS = ("repro.resilience", "repro.passivedns.pipeline")
 
 
 @dataclass
@@ -56,6 +65,12 @@ class AnalysisConfig:
         default_factory=lambda: list(DEFAULT_REFERENCE_PATHS)
     )
     cache_path: str = DEFAULT_CACHE
+    atomic_io_modules: List[str] = field(
+        default_factory=lambda: list(DEFAULT_ATOMIC_IO_MODULES)
+    )
+    resilient_roots: List[str] = field(
+        default_factory=lambda: list(DEFAULT_RESILIENT_ROOTS)
+    )
     severity_overrides: Dict[str, Severity] = field(default_factory=dict)
 
     def enabled_rule_ids(self, registered: Sequence[str]) -> List[str]:
@@ -103,6 +118,10 @@ def load_config(root: Path) -> AnalysisConfig:
         config.reference_paths = _str_list(table, "reference-paths")
     if "cache" in table:
         config.cache_path = str(table["cache"])
+    if "atomic-io-modules" in table:
+        config.atomic_io_modules = _str_list(table, "atomic-io-modules")
+    if "resilient-roots" in table:
+        config.resilient_roots = _str_list(table, "resilient-roots")
     severity = table.get("severity", {})
     if not isinstance(severity, dict):
         raise ConfigError("[tool.repro.analysis.severity] must be a table")

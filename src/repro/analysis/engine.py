@@ -176,6 +176,10 @@ class _FileResult:
 
     findings: List[Finding] = field(default_factory=list)
     summary: Optional[Dict[str, object]] = None
+    #: Whether per-file rules ran — the program pass scopes its
+    #: findings to linted modules (reference scans contribute facts
+    #: but never receive findings).
+    lint: bool = True
 
 
 #: Per-process analyzer reused across items of a parallel run.
@@ -191,8 +195,10 @@ def _analyze_in_worker(item: Tuple) -> Tuple:
     analyzer = _WORKER_ANALYZER.get("analyzer")
     if analyzer is None or _WORKER_ANALYZER.get("key") != key:
         analyzer = Analyzer(config, instantiate(rule_ids))
-        _WORKER_ANALYZER["analyzer"] = analyzer
-        _WORKER_ANALYZER["key"] = key
+        # Per-process memo: ProcessPoolExecutor gives each worker its
+        # own module copy, so this never races or leaks across workers.
+        _WORKER_ANALYZER["analyzer"] = analyzer  # repro: noqa[REP203]
+        _WORKER_ANALYZER["key"] = key  # repro: noqa[REP203]
     findings, summary = analyzer.check_source_and_summary(
         source, relpath, lint=lint, want_summary=want_summary
     )
@@ -258,7 +264,7 @@ class Analyzer:
             entry = cache.lookup(relpath, digest, lint=lint) if cache else None
             if entry is not None:
                 results[relpath] = _FileResult(
-                    list(entry.findings) if lint else [], entry.summary
+                    list(entry.findings) if lint else [], entry.summary, lint
                 )
             else:
                 pending.append((relpath, source, lint, digest))
@@ -266,7 +272,9 @@ class Analyzer:
         for relpath, findings, summary, digest, lint in self._analyze_pending(
             pending, jobs, want_summary
         ):
-            results[relpath] = _FileResult(findings if lint else [], summary)
+            results[relpath] = _FileResult(
+                findings if lint else [], summary, lint
+            )
             if cache is not None:
                 cache.store(relpath, digest, findings, summary, lint=lint)
             if summary is not None:
@@ -365,12 +373,17 @@ class Analyzer:
         cone-scoped rules; global-scope rules (reference scans) are
         recomputed whenever anything changed at all.
         """
-        summaries = [
-            ModuleSummary.from_json(result.summary)
-            for result in results.values()
-            if result.summary is not None
-        ]
+        summaries: List[ModuleSummary] = []
+        lint_modules: Set[str] = set()
+        for result in results.values():
+            if result.summary is None:
+                continue
+            summary = ModuleSummary.from_json(result.summary)
+            summaries.append(summary)
+            if result.lint:
+                lint_modules.add(summary.module)
         model = ProjectModel(summaries)
+        model.lint_modules = lint_modules
         cached_valid = cache is not None and cache.program_valid
         if not dirty_modules and cached_valid:
             by_module = {
@@ -516,13 +529,14 @@ class Analyzer:
         """
         results: Dict[str, _FileResult] = {}
         for relpath in sorted(sources):
+            lint = not self.config.is_excluded(relpath)
             findings, summary = self.check_source_and_summary(
                 sources[relpath],
                 relpath,
-                lint=not self.config.is_excluded(relpath),
+                lint=lint,
                 want_summary=True,
             )
-            results[relpath] = _FileResult(findings, summary)
+            results[relpath] = _FileResult(findings, summary, lint)
         findings = [f for r in results.values() for f in r.findings]
         if self.project_rules:
             findings.extend(

@@ -36,7 +36,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format",
     )
@@ -168,9 +168,13 @@ def _run_lint(args: argparse.Namespace) -> int:
 
     baseline_file = root / config.baseline_path
     if args.update_baseline:
-        baseline_mod.save_baseline(baseline_file, findings)
+        pruned = baseline_mod.update_baseline(
+            baseline_file, findings, rule_ids
+        )
         print(
             f"baseline updated: {len(findings)} finding(s) -> {baseline_file}"
+            f" ({pruned} stale entr{'y' if pruned == 1 else 'ies'} for"
+            f" retired rules pruned)"
         )
         return 0
 
@@ -185,6 +189,10 @@ def _run_lint(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         print(report_mod.render_json(reported, rules=rule_ids))
+    elif args.format == "sarif":
+        from repro.analysis.sarif import render_sarif
+
+        print(render_sarif(reported, rules=rule_ids))
     else:
         print(report_mod.render_text(reported))
     failing = [

@@ -46,9 +46,21 @@ def _scoped_modules(
 
     ``modules=None`` means the whole project; otherwise only the given
     dirty dependency cone is re-analyzed.  Reference-only modules
-    (tests, benchmarks, examples) never receive findings.
+    (tests, benchmarks, examples) never receive findings.  The engine
+    records which modules were linted on ``project.lint_modules``;
+    when that is absent (models built outside the engine), the
+    ``repro``-rooted heuristic applies, so explicitly linting an
+    excluded tree (``lint benchmarks``) still scopes project rules to
+    the named files.
     """
     chosen = set(project.modules) if modules is None else set(modules)
+    lint_scope = project.lint_modules
+    if lint_scope is not None:
+        return sorted(
+            module
+            for module in chosen
+            if module in project.modules and module in lint_scope
+        )
     return sorted(
         module
         for module in chosen

@@ -5,13 +5,17 @@ laundered through a helper two modules away.  This module builds the
 facts that make such flows visible:
 
 - a :class:`ModuleSummary` per file — bindings (what each local name
-  resolves to), definitions, call sites, exports, references, and
-  dynamic-import sites — produced by **one** AST walk and cheap enough
-  to serialize into the results cache;
+  resolves to), definitions, call sites, exports, references,
+  dynamic-import sites, and per-function **effect summaries**
+  (filesystem writes, fsync/replace, exception handlers, shared-state
+  mutations, process/thread spawns) — produced by **one** AST walk and
+  cheap enough to serialize into the results cache;
 - a :class:`ProjectModel` over all summaries — resolved qualified
   names, the intra-project call graph, the module import graph, taint
-  propagation (which functions transitively reach a given sink), and
-  the dependency cone used for incremental re-analysis.
+  propagation (which functions transitively reach a given sink),
+  forward reachability (which functions a set of entry points can
+  reach), exception-class ancestry, and the dependency cone used for
+  incremental re-analysis.
 
 Summaries are pure data (JSON round-trippable), so a warm run rebuilds
 the whole model without re-parsing a single unchanged file.
@@ -122,6 +126,195 @@ class ImportEdge:
 
 
 @dataclass
+class WriteSite:
+    """One filesystem-write expression inside a function.
+
+    ``kind`` is ``"open"`` for ``open(..., "w")``-style calls (``mode``
+    carries the literal mode string), ``"method"`` for
+    ``path.write_text``/``path.write_bytes``, and ``"call"`` for
+    write-sink calls such as ``np.save(path, ...)`` whose callee is
+    resolved against the project model at rule time.
+    """
+
+    kind: str
+    callee: str
+    mode: str
+    lineno: int
+    col: int
+
+    def to_json(self) -> Dict[str, object]:
+        """Serializable form for the results cache."""
+        return {
+            "kind": self.kind,
+            "callee": self.callee,
+            "mode": self.mode,
+            "lineno": self.lineno,
+            "col": self.col,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "WriteSite":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(**data)  # type: ignore[arg-type]
+
+
+@dataclass
+class ExceptSite:
+    """One ``except`` handler inside a function.
+
+    ``types`` holds the dotted handler-type expressions (empty for a
+    bare ``except:``); ``reraises`` is True when any ``raise`` appears
+    in the handler body, so the handler propagates rather than
+    swallows.
+    """
+
+    lineno: int
+    col: int
+    types: List[str] = field(default_factory=list)
+    bare: bool = False
+    reraises: bool = False
+
+    def to_json(self) -> Dict[str, object]:
+        """Serializable form for the results cache."""
+        return {
+            "lineno": self.lineno,
+            "col": self.col,
+            "types": list(self.types),
+            "bare": self.bare,
+            "reraises": self.reraises,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "ExceptSite":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(**data)  # type: ignore[arg-type]
+
+
+@dataclass
+class MutationSite:
+    """One mutation of named state inside a function.
+
+    For name mutations ``target`` is the bare name (checked against
+    module globals at rule time); for attribute mutations it is the
+    first attribute after ``self``/``cls``.  ``kind`` is ``"assign"``
+    (rebinding, including augmented), ``"subscript"`` (item write), a
+    ``"call:<method>"`` mutator-method call, or ``"nonlocal"`` for a
+    captured-variable rebinding.
+    """
+
+    target: str
+    kind: str
+    lineno: int
+    col: int
+
+    def to_json(self) -> Dict[str, object]:
+        """Serializable form for the results cache."""
+        return {
+            "target": self.target,
+            "kind": self.kind,
+            "lineno": self.lineno,
+            "col": self.col,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "MutationSite":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(**data)  # type: ignore[arg-type]
+
+
+@dataclass
+class SpawnSite:
+    """One process/thread-spawn expression with a worker callable.
+
+    ``target`` is the dotted expression naming the callable handed to
+    ``pool.map``/``pool.submit`` (``kind="pool"``) or to
+    ``Thread(target=...)``/``Process(target=...)`` (``kind="thread"``);
+    it is resolved against the project model at rule time.
+    """
+
+    target: str
+    kind: str
+    lineno: int
+    col: int
+
+    def to_json(self) -> Dict[str, object]:
+        """Serializable form for the results cache."""
+        return {
+            "target": self.target,
+            "kind": self.kind,
+            "lineno": self.lineno,
+            "col": self.col,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "SpawnSite":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(**data)  # type: ignore[arg-type]
+
+
+@dataclass
+class FunctionEffects:
+    """Effect summary for one function (or the module top level).
+
+    ``fsyncs``/``replaces`` record whether the function itself calls
+    ``os.fsync`` and ``os.replace``/``os.rename`` — together they mark
+    the sanctioned atomic-write dance, exempting the function's raw
+    writes from REP201.
+    """
+
+    writes: List[WriteSite] = field(default_factory=list)
+    excepts: List[ExceptSite] = field(default_factory=list)
+    name_mutations: List[MutationSite] = field(default_factory=list)
+    attr_mutations: List[MutationSite] = field(default_factory=list)
+    spawns: List[SpawnSite] = field(default_factory=list)
+    fsyncs: bool = False
+    replaces: bool = False
+
+    def is_empty(self) -> bool:
+        """Whether nothing was recorded (entry can be omitted)."""
+        return not (
+            self.writes
+            or self.excepts
+            or self.name_mutations
+            or self.attr_mutations
+            or self.spawns
+            or self.fsyncs
+            or self.replaces
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        """Serializable form for the results cache."""
+        return {
+            "writes": [w.to_json() for w in self.writes],
+            "excepts": [e.to_json() for e in self.excepts],
+            "name_mutations": [m.to_json() for m in self.name_mutations],
+            "attr_mutations": [m.to_json() for m in self.attr_mutations],
+            "spawns": [s.to_json() for s in self.spawns],
+            "fsyncs": self.fsyncs,
+            "replaces": self.replaces,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "FunctionEffects":
+        """Rebuild from :meth:`to_json` output (tolerant of old caches)."""
+        return cls(
+            writes=[WriteSite.from_json(w) for w in data.get("writes", [])],  # type: ignore[union-attr]
+            excepts=[ExceptSite.from_json(e) for e in data.get("excepts", [])],  # type: ignore[union-attr]
+            name_mutations=[
+                MutationSite.from_json(m)
+                for m in data.get("name_mutations", [])  # type: ignore[union-attr]
+            ],
+            attr_mutations=[
+                MutationSite.from_json(m)
+                for m in data.get("attr_mutations", [])  # type: ignore[union-attr]
+            ],
+            spawns=[SpawnSite.from_json(s) for s in data.get("spawns", [])],  # type: ignore[union-attr]
+            fsyncs=bool(data.get("fsyncs", False)),
+            replaces=bool(data.get("replaces", False)),
+        )
+
+
+@dataclass
 class ModuleSummary:
     """Whole-program facts extracted from one module in one AST walk."""
 
@@ -138,6 +331,16 @@ class ModuleSummary:
     exports_lineno: int = 0
     refs: List[str] = field(default_factory=list)
     noqa: Dict[int, List[str]] = field(default_factory=dict)
+    #: Effect summaries keyed by function qualname (module-level
+    #: effects live under :data:`MODULE_SCOPE`); empty entries are
+    #: omitted to keep the cache small.
+    effects: Dict[str, FunctionEffects] = field(default_factory=dict)
+    #: Class qualname -> dotted base-class expressions, for
+    #: exception-hierarchy resolution and cache-field grouping.
+    classes: Dict[str, List[str]] = field(default_factory=dict)
+    #: Module-level names bound to mutable literals (dict/list/set
+    #: displays, comprehensions, or container constructors) -> lineno.
+    mutable_globals: Dict[str, int] = field(default_factory=dict)
 
     def to_json(self) -> Dict[str, object]:
         """Serializable form for the results cache."""
@@ -157,6 +360,13 @@ class ModuleSummary:
             "exports_lineno": self.exports_lineno,
             "refs": list(self.refs),
             "noqa": {str(line): ids for line, ids in self.noqa.items()},
+            "effects": {
+                name: fx.to_json()
+                for name, fx in self.effects.items()
+                if not fx.is_empty()
+            },
+            "classes": {name: list(b) for name, b in self.classes.items()},
+            "mutable_globals": dict(self.mutable_globals),
         }
 
     @classmethod
@@ -186,6 +396,15 @@ class ModuleSummary:
                 int(line): list(ids)
                 for line, ids in data.get("noqa", {}).items()  # type: ignore[union-attr]
             },
+            effects={
+                name: FunctionEffects.from_json(fx)
+                for name, fx in data.get("effects", {}).items()  # type: ignore[union-attr]
+            },
+            classes={
+                name: list(bases)
+                for name, bases in data.get("classes", {}).items()  # type: ignore[union-attr]
+            },
+            mutable_globals=dict(data.get("mutable_globals", {})),  # type: ignore[arg-type]
         )
 
 
@@ -199,6 +418,28 @@ def _dotted_expr(node: ast.AST) -> Optional[str]:
         parts.append(node.id)
         return ".".join(reversed(parts))
     return None
+
+
+#: Methods that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend",
+    "insert", "pop", "popitem", "popleft", "remove", "reverse",
+    "setdefault", "sort", "update",
+})
+#: Call tails treated as write sinks when the callee resolves to a
+#: known serializer (``np.save`` and friends); the file operand is the
+#: first positional argument.
+_WRITE_SINK_TAILS = frozenset({"save", "savez", "savez_compressed"})
+#: Constructors of in-memory buffers; writes into such locals are not
+#: filesystem writes.
+_MEMORY_BUFFER_FACTORIES = frozenset({"BytesIO", "StringIO"})
+#: Constructor tails that spawn a worker with a ``target=`` callable.
+_THREAD_SPAWNERS = frozenset({"Thread", "Process", "Timer"})
+#: Executor methods whose first positional argument is the worker.
+_POOL_DISPATCH_ANY = frozenset({"submit", "apply_async", "starmap"})
+#: Executor methods so generic (``.map``) that the receiver name must
+#: look like a pool/executor before the call counts as a spawn.
+_POOL_DISPATCH_GUARDED = frozenset({"map", "imap", "imap_unordered"})
 
 
 def _is_type_checking_test(test: ast.AST) -> bool:
@@ -220,6 +461,12 @@ class _Summarizer(ast.NodeVisitor):
         self._func_depth = 0
         self._params: List[Set[str]] = []
         self._type_checking_depth = 0
+        # Per-function-scope stacks (index 0 is module scope): names of
+        # in-memory buffer locals, `global` declarations, and
+        # `nonlocal` declarations.
+        self._memio: List[Set[str]] = [set()]
+        self._global_decls: List[Set[str]] = [set()]
+        self._nonlocal_decls: List[Set[str]] = [set()]
 
     # -- scope bookkeeping -------------------------------------------------
 
@@ -230,6 +477,15 @@ class _Summarizer(ast.NodeVisitor):
         if not self._scope or self._func_depth == 0:
             return MODULE_SCOPE
         return ".".join([self.summary.module] + self._scope)
+
+    def _fx(self) -> FunctionEffects:
+        """The effect accumulator for the enclosing function scope."""
+        key = self._caller()
+        fx = self.summary.effects.get(key)
+        if fx is None:
+            fx = FunctionEffects()
+            self.summary.effects[key] = fx
+        return fx
 
     # -- definitions -------------------------------------------------------
 
@@ -270,7 +526,13 @@ class _Summarizer(ast.NodeVisitor):
         self._scope.append(name)
         self._func_depth += 1
         self._params.append(set(params) | set(kwonly))
+        self._memio.append(set())
+        self._global_decls.append(set())
+        self._nonlocal_decls.append(set())
         self.generic_visit(node)
+        self._nonlocal_decls.pop()
+        self._global_decls.pop()
+        self._memio.pop()
         self._params.pop()
         self._func_depth -= 1
         self._scope.pop()
@@ -281,6 +543,12 @@ class _Summarizer(ast.NodeVisitor):
                 node.name, f"{self.summary.module}.{node.name}"
             )
         self.summary.refs.append(node.name)
+        bases = [
+            dotted
+            for dotted in (_dotted_expr(base) for base in node.bases)
+            if dotted is not None
+        ]
+        self.summary.classes[self._qualname(node.name)] = bases
         self._scope.append(node.name)
         self._class_depth += 1
         self.generic_visit(node)
@@ -365,7 +633,122 @@ class _Summarizer(ast.NodeVisitor):
                     arg0=self._arg0_kind(node),
                 )
             )
+            self._record_write_effects(node, callee)
+            self._record_spawn_effects(node, callee)
+            self._record_mutator_call(node, callee)
+        elif isinstance(node.func, ast.Attribute):
+            # Computed receivers — `(root / "x").write_text(...)`,
+            # `tmp_path.with_suffix(".json").open("w")` — have no dotted
+            # form, but the write effect is just as real.  Record it
+            # under a placeholder receiver so REP201 still sees it.
+            self._record_computed_write(node, node.func.attr)
         self.generic_visit(node)
+
+    def _record_computed_write(self, node: ast.Call, tail: str) -> None:
+        if tail in ("write_text", "write_bytes"):
+            self._add_write(
+                WriteSite("method", f"<expr>.{tail}", "",
+                          node.lineno, node.col_offset + 1)
+            )
+        elif tail == "open":
+            mode = self._literal_mode(node, position=0)
+            if mode is not None and set(mode) & set("wax+"):
+                self._add_write(WriteSite("open", f"<expr>.{tail}", mode,
+                                          node.lineno, node.col_offset + 1))
+
+    # -- effect extraction -------------------------------------------------
+
+    def _record_write_effects(self, node: ast.Call, callee: str) -> None:
+        tail = callee.rsplit(".", 1)[-1]
+        if callee in ("os.fsync",):
+            self._fx().fsyncs = True
+            return
+        if callee in ("os.replace", "os.rename"):
+            self._fx().replaces = True
+            return
+        if callee in ("open", "io.open"):
+            mode = self._literal_mode(node, position=1)
+            if mode is not None and set(mode) & set("wax+"):
+                self._add_write(WriteSite("open", callee, mode,
+                                          node.lineno, node.col_offset + 1))
+            return
+        if "." not in callee:
+            return
+        if tail == "open":
+            # Path.open(mode=...): mode is the first positional.
+            mode = self._literal_mode(node, position=0)
+            if mode is not None and set(mode) & set("wax+"):
+                self._add_write(WriteSite("open", callee, mode,
+                                          node.lineno, node.col_offset + 1))
+        elif tail in ("write_text", "write_bytes"):
+            receiver = callee[: -(len(tail) + 1)]
+            if receiver not in self._memio[-1]:
+                self._add_write(WriteSite("method", callee, "",
+                                          node.lineno, node.col_offset + 1))
+        elif tail in _WRITE_SINK_TAILS:
+            arg0 = node.args[0] if node.args else None
+            if isinstance(arg0, ast.Name) and arg0.id in self._memio[-1]:
+                return
+            self._add_write(WriteSite("call", callee, "",
+                                      node.lineno, node.col_offset + 1))
+
+    def _add_write(self, site: WriteSite) -> None:
+        self._fx().writes.append(site)
+
+    def _literal_mode(self, node: ast.Call, position: int) -> Optional[str]:
+        arg: Optional[ast.AST] = (
+            node.args[position] if len(node.args) > position else None
+        )
+        if arg is None:
+            for keyword in node.keywords:
+                if keyword.arg == "mode":
+                    arg = keyword.value
+                    break
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        return None
+
+    def _record_spawn_effects(self, node: ast.Call, callee: str) -> None:
+        tail = callee.rsplit(".", 1)[-1]
+        if tail in _THREAD_SPAWNERS:
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    target = _dotted_expr(keyword.value)
+                    if target is not None:
+                        self._fx().spawns.append(
+                            SpawnSite(target, "thread",
+                                      node.lineno, node.col_offset + 1)
+                        )
+                    break
+            return
+        if "." not in callee:
+            return
+        if tail in _POOL_DISPATCH_GUARDED:
+            receiver_tail = callee.rsplit(".", 2)[-2].lower()
+            if "pool" not in receiver_tail and "executor" not in receiver_tail:
+                return
+        elif tail not in _POOL_DISPATCH_ANY:
+            return
+        arg0 = node.args[0] if node.args else None
+        target = _dotted_expr(arg0) if arg0 is not None else None
+        if target is not None:
+            self._fx().spawns.append(
+                SpawnSite(target, "pool", node.lineno, node.col_offset + 1)
+            )
+
+    def _record_mutator_call(self, node: ast.Call, callee: str) -> None:
+        if self._func_depth == 0 or "." not in callee:
+            return
+        tail = callee.rsplit(".", 1)[-1]
+        if tail not in _MUTATOR_METHODS:
+            return
+        receiver = callee[: -(len(tail) + 1)]
+        parts = receiver.split(".")
+        site_args = (f"call:{tail}", node.lineno, node.col_offset + 1)
+        if parts[0] in ("self", "cls") and len(parts) >= 2:
+            self._fx().attr_mutations.append(MutationSite(parts[1], *site_args))
+        elif len(parts) == 1 and receiver not in self._params[-1]:
+            self._fx().name_mutations.append(MutationSite(receiver, *site_args))
 
     def _arg0_kind(self, node: ast.Call) -> str:
         arg: Optional[ast.AST] = node.args[0] if node.args else None
@@ -389,12 +772,141 @@ class _Summarizer(ast.NodeVisitor):
     def visit_Assign(self, node: ast.Assign) -> None:
         if not self._scope:
             self._record_module_assign(node.targets, node.value, node)
+            self._record_mutable_global(node.targets, node.value, node)
+        self._track_memio(node.targets, node.value)
+        if self._func_depth > 0:
+            for target in node.targets:
+                self._record_mutation_target(target, "assign", node)
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         if not self._scope and node.value is not None:
             self._record_module_assign([node.target], node.value, node)
+            self._record_mutable_global([node.target], node.value, node)
+        if node.value is not None:
+            self._track_memio([node.target], node.value)
+        if self._func_depth > 0 and node.value is not None:
+            self._record_mutation_target(node.target, "assign", node)
         self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self._func_depth > 0:
+            self._record_mutation_target(node.target, "assign", node)
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self._global_decls[-1].update(node.names)
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        self._nonlocal_decls[-1].update(node.names)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            if item.optional_vars is not None:
+                self._track_memio([item.optional_vars], item.context_expr)
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        types: List[str] = []
+        if node.type is not None:
+            exprs = (
+                list(node.type.elts)
+                if isinstance(node.type, ast.Tuple)
+                else [node.type]
+            )
+            for expr in exprs:
+                dotted = _dotted_expr(expr)
+                if dotted is not None:
+                    types.append(dotted)
+        reraises = any(
+            isinstance(inner, ast.Raise)
+            for stmt in node.body
+            for inner in ast.walk(stmt)
+        )
+        self._fx().excepts.append(
+            ExceptSite(
+                lineno=node.lineno,
+                col=node.col_offset + 1,
+                types=types,
+                bare=node.type is None,
+                reraises=reraises,
+            )
+        )
+        self.generic_visit(node)
+
+    def _track_memio(self, targets: Sequence[ast.AST], value: ast.AST) -> None:
+        if not isinstance(value, ast.Call):
+            return
+        callee = _dotted_expr(value.func)
+        if callee is None:
+            return
+        if callee.rsplit(".", 1)[-1] not in _MEMORY_BUFFER_FACTORIES:
+            return
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self._memio[-1].add(target.id)
+
+    def _record_mutable_global(
+        self, targets: Sequence[ast.AST], value: ast.AST, node: ast.AST
+    ) -> None:
+        mutable = isinstance(
+            value,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+             ast.SetComp),
+        )
+        if not mutable and isinstance(value, ast.Call):
+            callee = _dotted_expr(value.func)
+            mutable = callee is not None and callee.rsplit(".", 1)[-1] in (
+                "Counter", "OrderedDict", "defaultdict", "deque", "dict",
+                "list", "set",
+            )
+        if not mutable:
+            return
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id != "__all__":
+                self.summary.mutable_globals[target.id] = node.lineno
+
+    def _record_mutation_target(
+        self, target: ast.AST, kind: str, node: ast.AST
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_mutation_target(elt, kind, node)
+            return
+        lineno, col = node.lineno, node.col_offset + 1
+        if isinstance(target, ast.Name):
+            if target.id in self._global_decls[-1]:
+                self._fx().name_mutations.append(
+                    MutationSite(target.id, kind, lineno, col)
+                )
+            elif target.id in self._nonlocal_decls[-1]:
+                self._fx().name_mutations.append(
+                    MutationSite(target.id, "nonlocal", lineno, col)
+                )
+            return
+        if isinstance(target, ast.Subscript):
+            base = _dotted_expr(target.value)
+            if base is None:
+                return
+            parts = base.split(".")
+            if parts[0] in ("self", "cls") and len(parts) >= 2:
+                self._fx().attr_mutations.append(
+                    MutationSite(parts[1], "subscript", lineno, col)
+                )
+            elif len(parts) == 1 and base not in self._params[-1]:
+                self._fx().name_mutations.append(
+                    MutationSite(base, "subscript", lineno, col)
+                )
+            return
+        if isinstance(target, ast.Attribute):
+            dotted = _dotted_expr(target)
+            if dotted is None:
+                return
+            parts = dotted.split(".")
+            if parts[0] in ("self", "cls") and len(parts) >= 2:
+                self._fx().attr_mutations.append(
+                    MutationSite(parts[1], kind, lineno, col)
+                )
 
     def _record_module_assign(
         self, targets: Sequence[ast.AST], value: ast.AST, node: ast.AST
@@ -477,6 +989,10 @@ class ProjectModel:
         self._call_graph: Optional[Dict[str, Set[str]]] = None
         self._reverse_calls: Optional[Dict[str, Set[str]]] = None
         self._import_graph: Optional[Dict[str, Set[str]]] = None
+        #: Modules analyzed with per-file rules enabled (set by the
+        #: engine).  ``None`` means unknown — project rules then fall
+        #: back to the ``repro``-rooted heuristic scope.
+        self.lint_modules: Optional[Set[str]] = None
 
     # -- name resolution ---------------------------------------------------
 
@@ -644,6 +1160,67 @@ class ProjectModel:
                     next_frontier.append(caller)
             frontier = next_frontier
         return chains
+
+    def reachable_from(
+        self, roots: Iterable[str]
+    ) -> Dict[str, List[str]]:
+        """Functions reachable from any root, with witness chains.
+
+        The forward complement of :meth:`tainted_from`: returns
+        ``{qualname: [root, ..., qualname]}`` for every function an
+        entry point can reach through the call graph, including the
+        roots themselves.  Chains are deterministic (breadth-first,
+        lexicographically first witness).
+        """
+        graph = self.call_graph()
+        chains: Dict[str, List[str]] = {}
+        frontier: List[str] = []
+        for root in sorted(set(roots)):
+            if root not in chains:
+                chains[root] = [root]
+                frontier.append(root)
+        while frontier:
+            frontier.sort()
+            next_frontier: List[str] = []
+            for node in frontier:
+                for callee in sorted(graph.get(node, ())):
+                    if callee in chains:
+                        continue
+                    chains[callee] = chains[node] + [callee]
+                    next_frontier.append(callee)
+            frontier = next_frontier
+        return chains
+
+    # -- exception hierarchy -----------------------------------------------
+
+    def exception_ancestors(self, qualname: str) -> Set[str]:
+        """Resolved base classes of an exception type, transitively.
+
+        Walks the recorded class-definition facts, resolving each base
+        expression in its defining module.  Bases defined outside the
+        project (builtins such as ``Exception``) terminate a chain;
+        ``BaseException`` is implied whenever ``Exception`` or another
+        standard root is reached.
+        """
+        out: Set[str] = set()
+        stack = [qualname]
+        seen: Set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current != qualname:
+                out.add(current)
+            owner = self.module_of(current)
+            if owner is None:
+                if current.split(".")[-1] != "BaseException":
+                    out.add("BaseException")
+                continue
+            for base in self.modules[owner].classes.get(current, []):
+                resolved = self.resolve(owner, base) or base
+                stack.append(resolved)
+        return out
 
     # -- import graph and incremental cone ---------------------------------
 

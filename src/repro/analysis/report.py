@@ -4,10 +4,11 @@ The JSON schema is versioned and key-stable so CI consumers can parse
 it without tracking analyzer internals::
 
     {
-      "version": 2,
+      "version": 3,
       "tool": "repro.analysis",
-      "analyzer_version": "2.0.0",
+      "analyzer_version": "3.0.0",
       "rules": ["REP001", ...],
+      "rule_info": [{"id", "severity", "kind", "description"}, ...],
       "findings": [{"rule", "severity", "path", "line", "col",
                     "message", "baselined"}, ...],
       "summary": {"total", "new", "baselined", "errors", "warnings"}
@@ -15,17 +16,20 @@ it without tracking analyzer internals::
 
 Schema v2 added the ``analyzer_version`` and ``rules`` header keys so
 a CI artifact records exactly which analyzer and which resolved rule
-set produced it (v1 carried only the findings and summary).
+set produced it (v1 carried only the findings and summary).  Schema
+v3 adds ``rule_info`` — per-rule metadata (default severity, per-file
+vs whole-program kind, one-line description) — so downstream renderers
+such as the SARIF converter need no access to the rule registry.
 """
 
 from __future__ import annotations
 
 import json
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.findings import ANALYZER_VERSION, Finding, Severity
 
-JSON_SCHEMA_VERSION = 2
+JSON_SCHEMA_VERSION = 3
 
 
 def summarize(findings: Sequence[Finding]) -> dict:
@@ -38,6 +42,32 @@ def summarize(findings: Sequence[Finding]) -> dict:
         "errors": sum(1 for f in new if f.severity is Severity.ERROR),
         "warnings": sum(1 for f in new if f.severity is Severity.WARNING),
     }
+
+
+def rule_info(rules: Sequence[str]) -> List[Dict[str, str]]:
+    """Registry metadata for the resolved rule ids, in id order.
+
+    Ids without a registered rule class (possible only for synthetic
+    test rulesets) are skipped rather than invented.
+    """
+    from repro.analysis.rules import iter_rules
+
+    wanted = set(rules)
+    info = []
+    for rule_cls in iter_rules():
+        if rule_cls.rule_id not in wanted:
+            continue
+        info.append(
+            {
+                "id": rule_cls.rule_id,
+                "severity": rule_cls.severity.value,
+                "kind": (
+                    "whole-program" if rule_cls.is_project_rule else "per-file"
+                ),
+                "description": rule_cls.description,
+            }
+        )
+    return info
 
 
 def render_text(findings: Sequence[Finding]) -> str:
@@ -67,11 +97,13 @@ def render_json(
     ordered = sorted(
         findings, key=lambda f: (f.path, f.line, f.col, f.rule_id)
     )
+    resolved = sorted(rules) if rules is not None else []
     payload = {
         "version": JSON_SCHEMA_VERSION,
         "tool": "repro.analysis",
         "analyzer_version": ANALYZER_VERSION,
-        "rules": sorted(rules) if rules is not None else [],
+        "rules": resolved,
+        "rule_info": rule_info(resolved),
         "findings": [finding.to_json() for finding in ordered],
         "summary": summarize(findings),
     }

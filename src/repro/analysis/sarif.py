@@ -1,0 +1,97 @@
+"""SARIF 2.1.0 renderer for lint results.
+
+SARIF (Static Analysis Results Interchange Format) is the one format
+code-scanning UIs ingest natively, so ``--format sarif`` lets CI
+surface findings as inline annotations instead of a log to scroll.
+
+The document is one run: the tool descriptor carries every resolved
+rule (id, one-line description, default level) and each finding maps
+to one ``result`` with a physical location.  Baselined findings are
+exported with ``baselineState: "unchanged"`` so scanners show them as
+known debt rather than new alerts; everything else is ``"new"``.
+Severities map ``error``→``error`` and ``warning``→``warning`` — the
+analyzer has no "note" tier.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.findings import ANALYZER_VERSION, Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemas/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptors(rules: Sequence[str]) -> List[Dict[str, object]]:
+    from repro.analysis.rules import iter_rules
+
+    wanted = set(rules)
+    descriptors = []
+    for rule_cls in iter_rules():
+        if rule_cls.rule_id not in wanted:
+            continue
+        descriptors.append(
+            {
+                "id": rule_cls.rule_id,
+                "shortDescription": {"text": rule_cls.description},
+                "defaultConfiguration": {
+                    "level": rule_cls.severity.value,
+                },
+            }
+        )
+    return descriptors
+
+
+def _result(finding: Finding) -> Dict[str, object]:
+    return {
+        "ruleId": finding.rule_id,
+        "level": finding.severity.value,
+        "message": {"text": finding.message},
+        "baselineState": "unchanged" if finding.baselined else "new",
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding], rules: Optional[Sequence[str]] = None
+) -> str:
+    """One-run SARIF 2.1.0 document for the given findings."""
+    ordered = sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule_id)
+    )
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "version": ANALYZER_VERSION,
+                        "rules": _rule_descriptors(
+                            sorted(rules) if rules is not None else []
+                        ),
+                    }
+                },
+                "results": [_result(finding) for finding in ordered],
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -330,7 +330,9 @@ class PassiveDnsDatabase:
         domain_id = self._id_of.get(domain)
         if domain_id is None:
             domain_id = len(self._domains)
-            self._id_of[domain] = domain_id
+            # Interning alone changes no row aggregates; every caller
+            # appends rows next and bumps via _touch().
+            self._id_of[domain] = domain_id  # repro: noqa[REP204]
             self._domains.append(domain)
             self._first_seen.append(_FIRST_SEEN_SENTINEL)
             self._last_seen.append(_LAST_SEEN_SENTINEL)
@@ -362,7 +364,9 @@ class PassiveDnsDatabase:
                 self._tail_time.view(),
                 self._tail_count.view(),
             )
-            self._chunks.append(self._spill.mmap_segment(info))
+            # Sealing rewrites tail rows as an immutable chunk — the
+            # row *content* is unchanged, so caches stay valid.
+            self._chunks.append(self._spill.mmap_segment(info))  # repro: noqa[REP204]
         else:
             self._chunks.append(
                 (
@@ -435,7 +439,9 @@ class PassiveDnsDatabase:
                 np.concatenate([p[2] for p in parts]),
             )
             # Consolidate: future reads only pay for newer chunks.
-            self._chunks = [columns]
+            # Content-preserving re-chunking of the same rows — a bump
+            # here would wrongly invalidate every aggregate cache.
+            self._chunks = [columns]  # repro: noqa[REP204]
         self._columns_cache = (self._generation, columns)
         return columns
 
@@ -741,7 +747,9 @@ class PassiveDnsDatabase:
         )
         while len(restored) > self.DEDUP_WINDOW:
             restored.popitem(last=False)
-        self._recent_keys = restored
+        # The dedup window is suppression state consulted per-append,
+        # not a row column; no generation-keyed cache reads it.
+        self._recent_keys = restored  # repro: noqa[REP204]
 
     # -- global aggregates ---------------------------------------------------
 

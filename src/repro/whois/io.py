@@ -11,6 +11,7 @@ import os
 from typing import Union
 
 from repro.dns.name import DomainName
+from repro.passivedns.spill import atomic_write_bytes
 from repro.whois.history import WhoisHistoryDatabase
 from repro.whois.record import WhoisRecord
 from repro.errors import ConfigError
@@ -20,16 +21,15 @@ PathLike = Union[str, "os.PathLike[str]"]
 
 def save_history(history: WhoisHistoryDatabase, path: PathLike) -> int:
     """Write every snapshot as one JSON line; returns records written."""
-    written = 0
-    with open(path, "w", encoding="utf-8") as handle:
-        for domain in sorted(
-            history._by_domain  # noqa: SLF001 - same package
-        ):
-            for record in history.history(domain):
-                handle.write(json.dumps(_to_json(record), sort_keys=True))
-                handle.write("\n")
-                written += 1
-    return written
+    lines = []
+    for domain in sorted(
+        history._by_domain  # noqa: SLF001 - same package
+    ):
+        for record in history.history(domain):
+            lines.append(json.dumps(_to_json(record), sort_keys=True))
+    payload = "".join(line + "\n" for line in lines)
+    atomic_write_bytes(path, payload.encode("utf-8"))
+    return len(lines)
 
 
 def load_history(path: PathLike) -> WhoisHistoryDatabase:

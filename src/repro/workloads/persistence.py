@@ -29,6 +29,7 @@ from repro.blocklist.store import BlocklistEntry, BlocklistStore, RateLimit
 from repro.dns.name import DomainName
 from repro.faults.plan import FaultPlan
 from repro.passivedns.io import load_database, save_database
+from repro.passivedns.spill import atomic_write_bytes
 from repro.passivedns.pipeline import PipelineStats, ResilientIngestPipeline
 from repro.squatting.detector import SquattingType
 from repro.whois.io import load_history, save_history
@@ -60,7 +61,12 @@ def save_trace(trace: TraceResult, directory: PathLike) -> Path:
         "domains": len(trace.population),
         "nx_responses": trace.nx_db.total_responses(),
     }
-    (root / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    # The manifest commits the archive: readers treat its presence as
+    # "this directory is complete", so it must land atomically, last.
+    atomic_write_bytes(
+        root / "manifest.json",
+        (json.dumps(manifest, indent=2) + "\n").encode("utf-8"),
+    )
     return root
 
 
@@ -131,21 +137,22 @@ def replay_with_checkpoints(
 
 
 def _save_blocklist(store: BlocklistStore, path: Path) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        for domain in sorted(store._entries):  # noqa: SLF001 - serializer
-            entry = store._entries[domain]
-            handle.write(
-                json.dumps(
-                    {
-                        "domain": str(entry.domain),
-                        "category": entry.category.value,
-                        "listed_at": entry.listed_at,
-                        "source": entry.source,
-                    },
-                    sort_keys=True,
-                )
+    lines = []
+    for domain in sorted(store._entries):  # noqa: SLF001 - serializer
+        entry = store._entries[domain]
+        lines.append(
+            json.dumps(
+                {
+                    "domain": str(entry.domain),
+                    "category": entry.category.value,
+                    "listed_at": entry.listed_at,
+                    "source": entry.source,
+                },
+                sort_keys=True,
             )
-            handle.write("\n")
+        )
+    payload = "".join(line + "\n" for line in lines)
+    atomic_write_bytes(path, payload.encode("utf-8"))
 
 
 def _load_blocklist(path: Path) -> BlocklistStore:
@@ -170,28 +177,29 @@ def _load_blocklist(path: Path) -> BlocklistStore:
 
 
 def _save_population(trace: TraceResult, path: Path) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        for record in trace.population:
-            handle.write(
-                json.dumps(
-                    {
-                        "domain": str(record.domain),
-                        "kind": record.kind.value,
-                        "became_nx_at": record.became_nx_at,
-                        "registered_at": record.registered_at,
-                        "expired_at": record.expired_at,
-                        "dga_family": record.dga_family,
-                        "squat_type": (
-                            record.squat_type.value if record.squat_type else None
-                        ),
-                        "blocklisted": record.blocklisted,
-                        "base_rate": record.base_rate,
-                        "activity_days": record.activity_days,
-                    },
-                    sort_keys=True,
-                )
+    lines = []
+    for record in trace.population:
+        lines.append(
+            json.dumps(
+                {
+                    "domain": str(record.domain),
+                    "kind": record.kind.value,
+                    "became_nx_at": record.became_nx_at,
+                    "registered_at": record.registered_at,
+                    "expired_at": record.expired_at,
+                    "dga_family": record.dga_family,
+                    "squat_type": (
+                        record.squat_type.value if record.squat_type else None
+                    ),
+                    "blocklisted": record.blocklisted,
+                    "base_rate": record.base_rate,
+                    "activity_days": record.activity_days,
+                },
+                sort_keys=True,
             )
-            handle.write("\n")
+        )
+    payload = "".join(line + "\n" for line in lines)
+    atomic_write_bytes(path, payload.encode("utf-8"))
 
 
 def _load_population(path: Path) -> list:

@@ -58,3 +58,51 @@ def test_baseline_counts_are_a_budget(tmp_path):
         duplicated, baseline_mod.load_baseline(path)
     )
     assert len(baselined) == 1 and len(new) == 1
+
+
+def test_update_baseline_prunes_retired_rules(tmp_path):
+    path = tmp_path / "baseline.json"
+    baseline_mod.save_baseline(
+        path,
+        [
+            _finding(rule="REP003", message="live debt"),
+            _finding(rule="REP099", message="from a retired rule"),
+            _finding(rule="REP099", line=20, message="from a retired rule"),
+        ],
+    )
+    current = [_finding(rule="REP003", message="live debt")]
+    pruned = baseline_mod.update_baseline(path, current, ["REP003"])
+    # both REP099 entries counted (with multiplicity), REP003 kept
+    assert pruned == 2
+    reloaded = baseline_mod.load_baseline(path)
+    assert list(reloaded) == ["REP003::src/repro/x.py::live debt"]
+
+
+def test_update_baseline_does_not_count_fixed_findings_as_pruned(tmp_path):
+    path = tmp_path / "baseline.json"
+    baseline_mod.save_baseline(
+        path,
+        [
+            _finding(message="fixed since"),
+            _finding(message="still here"),
+        ],
+    )
+    pruned = baseline_mod.update_baseline(
+        path, [_finding(message="still here")], ["REP003"]
+    )
+    assert pruned == 0
+    assert list(baseline_mod.load_baseline(path)) == [
+        "REP003::src/repro/x.py::still here"
+    ]
+
+
+def test_update_baseline_bootstraps_missing_file(tmp_path):
+    path = tmp_path / "baseline.json"
+    pruned = baseline_mod.update_baseline(path, [_finding()], ["REP003"])
+    assert pruned == 0 and path.is_file()
+
+
+def test_save_baseline_leaves_no_tmp_file(tmp_path):
+    path = tmp_path / "baseline.json"
+    baseline_mod.save_baseline(path, [_finding()])
+    assert [p.name for p in tmp_path.iterdir()] == ["baseline.json"]

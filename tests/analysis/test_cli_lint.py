@@ -50,7 +50,7 @@ def test_lint_json_output_parses(tmp_path, capsys):
     )
     assert code == 1
     document = json.loads(capsys.readouterr().out)
-    assert document["version"] == 2
+    assert document["version"] == 3
     assert document["analyzer_version"]
     # the resolved rule set that actually ran is recorded in the header
     assert "REP002" in document["rules"]

@@ -68,6 +68,7 @@ def test_every_builtin_rule_is_registered():
     ids = {rule.rule_id for rule in default_rules()}
     assert {f"REP00{n}" for n in range(1, 9)} <= ids
     assert {f"REP10{n}" for n in range(1, 5)} <= ids
+    assert {f"REP20{n}" for n in range(1, 5)} <= ids
 
 
 def test_whole_program_pass_runs_in_default_lint():

@@ -20,15 +20,33 @@ def _sample_findings(run_source):
 def test_json_schema_top_level_keys(run_source):
     document = json.loads(report_mod.render_json(_sample_findings(run_source)))
     assert list(document) == [
-        "version", "tool", "analyzer_version", "rules", "findings", "summary",
+        "version", "tool", "analyzer_version", "rules", "rule_info",
+        "findings", "summary",
     ]
     assert document["version"] == report_mod.JSON_SCHEMA_VERSION
-    assert document["version"] == 2
+    assert document["version"] == 3
     assert document["tool"] == "repro.analysis"
     assert document["analyzer_version"] == report_mod.ANALYZER_VERSION
     assert list(document["summary"]) == [
         "total", "new", "baselined", "errors", "warnings",
     ]
+
+
+def test_json_rule_info_describes_resolved_rules(run_source):
+    document = json.loads(
+        report_mod.render_json(
+            _sample_findings(run_source), rules=["REP001", "REP201"]
+        )
+    )
+    info = document["rule_info"]
+    assert [entry["id"] for entry in info] == ["REP001", "REP201"]
+    for entry in info:
+        assert list(entry) == ["id", "severity", "kind", "description"]
+        assert entry["severity"] in ("error", "warning")
+        assert entry["description"]
+    kinds = {entry["id"]: entry["kind"] for entry in info}
+    assert kinds["REP001"] == "per-file"
+    assert kinds["REP201"] == "whole-program"
 
 
 def test_json_header_carries_resolved_rule_set(run_source):

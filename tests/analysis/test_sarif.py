@@ -1,0 +1,76 @@
+"""The SARIF 2.1.0 export: structure, rule descriptors, baselining."""
+
+import json
+
+from repro.analysis import sarif as sarif_mod
+from repro.analysis.findings import ANALYZER_VERSION, Finding, Severity
+
+
+def _finding(rule="REP002", path="src/repro/x.py", line=3, baselined=False):
+    finding = Finding(
+        rule_id=rule,
+        severity=Severity.ERROR,
+        path=path,
+        line=line,
+        col=5,
+        message=f"{rule} message",
+    )
+    return finding.with_baselined() if baselined else finding
+
+
+def test_sarif_document_structure():
+    document = json.loads(
+        sarif_mod.render_sarif([_finding()], rules=["REP002"])
+    )
+    assert document["version"] == "2.1.0"
+    assert document["$schema"].endswith("sarif-schema-2.1.0.json")
+    assert len(document["runs"]) == 1
+    driver = document["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "repro.analysis"
+    assert driver["version"] == ANALYZER_VERSION
+    assert [rule["id"] for rule in driver["rules"]] == ["REP002"]
+    assert driver["rules"][0]["shortDescription"]["text"]
+    assert driver["rules"][0]["defaultConfiguration"]["level"] == "error"
+
+
+def test_sarif_result_locations_and_levels():
+    document = json.loads(
+        sarif_mod.render_sarif([_finding()], rules=["REP002"])
+    )
+    result = document["runs"][0]["results"][0]
+    assert result["ruleId"] == "REP002"
+    assert result["level"] == "error"
+    assert result["message"]["text"] == "REP002 message"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "src/repro/x.py"
+    assert location["region"] == {"startLine": 3, "startColumn": 5}
+
+
+def test_sarif_baseline_state_marks_known_debt():
+    document = json.loads(
+        sarif_mod.render_sarif(
+            [_finding(line=1), _finding(line=2, baselined=True)],
+            rules=["REP002"],
+        )
+    )
+    states = [
+        result["baselineState"]
+        for result in document["runs"][0]["results"]
+    ]
+    assert states == ["new", "unchanged"]
+
+
+def test_sarif_results_sorted_and_deterministic():
+    findings = [
+        _finding(path="src/repro/b.py"),
+        _finding(path="src/repro/a.py"),
+    ]
+    first = sarif_mod.render_sarif(findings, rules=["REP002"])
+    second = sarif_mod.render_sarif(list(reversed(findings)), rules=["REP002"])
+    assert first == second
+    document = json.loads(first)
+    uris = [
+        result["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+        for result in document["runs"][0]["results"]
+    ]
+    assert uris == sorted(uris)
