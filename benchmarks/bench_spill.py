@@ -11,10 +11,14 @@ Contracts of ``spill_dir=`` mode (see ``docs/RESILIENCE.md``):
   mmap-backed fingerprint within ``FINGERPRINT_MAX_SLOWDOWN`` of the
   in-memory one (timing ratios printed everywhere, asserted only
   off-CI per the bench_trace_scale convention);
-- **recovery cost** — reopening a committed store (the recovery scan:
-  journal parse, manifest checksum, per-segment CRC) is timed and
-  printed for the record; no ratio is asserted since it is a cold
-  open against process-lifetime in-memory state.
+- **recovery cost** — a clean reopen of a committed store must report
+  ``RecoveryReport.clean()`` (hard gate: silent quarantine-on-reopen
+  is a regression, not noise), a *warm* reopen must perform **zero**
+  segment CRC streams (the verified-at cache structural gate), and a
+  ``paranoid=True`` reopen must stream every segment; warm and
+  paranoid times are printed so ``docs/PERFORMANCE.md`` can record the
+  before/after, but only the structural counters are asserted — wall
+  clock on shared runners is noise.
 
 ``time.perf_counter`` is a monotonic interval timer, not a wall-clock
 read, so it is (deliberately) outside REP001's ban list.
@@ -91,10 +95,31 @@ def test_spill_store_is_byte_identical_and_fast_enough(tmp_path):
     memory_fpr_time, _ = _timed(lambda: fingerprint_uncached(memory))
     disk_fpr_time, _ = _timed(lambda: fingerprint_uncached(disk))
 
-    reopen_time, reopened = _timed(
+    warm_time, reopened = _timed(
         lambda: PassiveDnsDatabase(spill_dir=tmp_path / "spill")
     )
+    # Identity gate + clean-recovery gate: a clean reopen that rejects
+    # a generation or quarantines anything must fail the bench loudly.
     assert reopened.fingerprint() == memory.fingerprint()
+    warm_report = reopened.spill.last_recovery
+    assert warm_report.clean(), warm_report.summary()
+    # Structural reopen-cost gate: a warm (unchanged) reopen performs
+    # ZERO segment CRC streams — every verification is a stat+CRC
+    # cache hit — while a paranoid reopen streams every segment.
+    assert warm_report.segments_crc_streamed == 0
+    assert warm_report.cache_hits >= len(reopened.spill.segments())
+
+    paranoid_time, paranoid = _timed(
+        lambda: PassiveDnsDatabase(
+            spill_dir=tmp_path / "spill", spill_paranoid=True
+        )
+    )
+    paranoid_report = paranoid.spill.last_recovery
+    assert paranoid_report.clean(), paranoid_report.summary()
+    assert paranoid_report.segments_crc_streamed == len(
+        paranoid.spill.segments()
+    )
+    assert paranoid.fingerprint() == memory.fingerprint()
 
     series_ratio = disk_series_time / memory_series_time
     fpr_ratio = disk_fpr_time / memory_fpr_time
@@ -108,7 +133,8 @@ def test_spill_store_is_byte_identical_and_fast_enough(tmp_path):
         f"spill: {disk_fpr_time * 1e3:8.1f} ms   ({fpr_ratio:.2f}x)"
     )
     print(
-        f"recovery scan + reopen: {reopen_time * 1e3:8.1f} ms "
+        f"reopen  warm (0 streams): {warm_time * 1e3:8.1f} ms   "
+        f"paranoid (full scan): {paranoid_time * 1e3:8.1f} ms   "
         f"({reopened.row_count():,} rows, "
         f"{len(reopened.spill.segments())} segment(s))"
     )

@@ -13,6 +13,8 @@ individual detectors:
   popular-target list;
 - ``repro-nxd faults`` — sweep fault-injection rates and report how
   far the §4 shape checks degrade;
+- ``repro-nxd spill`` — inspect, compact, and reclaim a crash-safe
+  spill store directory (``info`` opens it read-only);
 - ``repro-nxd lint`` — run the determinism & layering linter
   (:mod:`repro.analysis`) over the source tree.
 """
@@ -112,6 +114,53 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the available fault injectors (stream and storage) "
         "and exit",
+    )
+
+    sub_spill = sub.add_parser(
+        "spill",
+        help="inspect, compact, and reclaim a crash-safe spill store",
+    )
+    spill_sub = sub_spill.add_subparsers(dest="spill_command", required=True)
+    spill_info = spill_sub.add_parser(
+        "info",
+        help="open a spill directory read-only and print its recovery "
+        "report (creates and mutates nothing)",
+    )
+    spill_info.add_argument("--dir", required=True, help="spill directory")
+    spill_info.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="ignore the verified-at cache and CRC-stream every segment",
+    )
+    spill_compact = spill_sub.add_parser(
+        "compact",
+        help="rewrite the committed segments into one superseding "
+        "generation (crash-safe at every write boundary)",
+    )
+    spill_compact.add_argument("--dir", required=True, help="spill directory")
+    spill_compact.add_argument(
+        "--min-segments",
+        type=int,
+        default=2,
+        help="skip compaction below this many committed segments",
+    )
+    spill_purge = spill_sub.add_parser(
+        "purge-quarantine",
+        help="delete quarantined debris the store has already "
+        "recovered from",
+    )
+    spill_purge.add_argument("--dir", required=True, help="spill directory")
+    spill_purge.add_argument(
+        "--kinds",
+        default=None,
+        help="comma-separated quarantine kinds to purge "
+        "(default: every kind)",
+    )
+    spill_purge.add_argument(
+        "--before-generation",
+        type=int,
+        default=None,
+        help="only purge entries quarantined before this generation",
     )
 
     sub_trace = sub.add_parser(
@@ -424,6 +473,59 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0 if passed else 1
 
 
+def cmd_spill(args: argparse.Namespace) -> int:
+    from repro.passivedns.database import PassiveDnsDatabase
+    from repro.passivedns.spill import SpillStore
+
+    if args.spill_command == "info":
+        db = PassiveDnsDatabase(
+            spill_dir=args.dir,
+            spill_read_only=True,
+            spill_paranoid=args.paranoid,
+        )
+        store = db.spill
+        assert store is not None
+        report = store.last_recovery
+        assert report is not None
+        print(report.summary())
+        print(
+            f"segments: {len(store.segments())}  "
+            f"rows: {db.row_count():,}  domains: {db.unique_domains():,}"
+        )
+        print(
+            f"verified-at cache: {report.verified_cache}  "
+            f"(hits {report.cache_hits}, "
+            f"streamed {report.segments_crc_streamed})"
+        )
+        print(f"store digest: {db.digest()}")
+        for entry in report.quarantined:
+            print(f"  would quarantine {entry.path}: {entry.kind}")
+        return 0 if report.clean() else 1
+    if args.spill_command == "compact":
+        store = SpillStore.open(args.dir)
+        before = len(store.segments())
+        generation = store.compact(min_segments=args.min_segments)
+        if generation is None:
+            print(f"nothing to compact ({before} segment(s) committed)")
+            return 0
+        print(
+            f"compacted {before} segment(s) into one; "
+            f"now serving generation {generation}"
+        )
+        return 0
+    store = SpillStore.open(args.dir)
+    kinds = (
+        {kind.strip() for kind in args.kinds.split(",") if kind.strip()}
+        if args.kinds
+        else None
+    )
+    removed, freed = store.purge_quarantine(
+        kinds=kinds, before_generation=args.before_generation
+    )
+    print(f"purged {removed} quarantined file(s), {freed:,} bytes freed")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.core.scale import monthly_response_series, tld_distribution
     from repro.workloads.persistence import load_trace, save_trace
@@ -458,6 +560,7 @@ _COMMANDS = {
     "report": cmd_report,
     "validate": cmd_validate,
     "faults": cmd_faults,
+    "spill": cmd_spill,
     "trace": cmd_trace,
     "scale": cmd_scale,
     "origin": cmd_origin,

@@ -317,8 +317,9 @@ class FaultAction:
     Returned by :meth:`StorageFaultInjector.decide`; the spill store's
     IO layer applies it mechanically (see ``repro.passivedns.spill``).
     ``truncate_to``/``flip`` only apply to byte-writing boundaries;
-    ``lose`` only applies to ``fsync`` boundaries (the write is rolled
-    back to its pre-write content, as if the kernel never flushed it).
+    ``lose`` applies to ``fsync`` boundaries (the write is rolled back
+    to its pre-write content, as if the kernel never flushed it) and to
+    ``unlink`` boundaries (the directory entry never leaves the disk).
     """
 
     crash_before: bool = False
@@ -330,8 +331,9 @@ class FaultAction:
 
 #: The boundary ops a durability layer reports.  ``write`` and
 #: ``append`` carry bytes; ``fsync`` flushes one file; ``replace`` is
-#: the atomic rename; ``dirsync`` flushes the directory entry.
-STORAGE_OPS = ("write", "append", "fsync", "replace", "dirsync")
+#: the atomic rename; ``dirsync`` flushes the directory entry;
+#: ``unlink`` removes a retired file (compaction's reclaim step).
+STORAGE_OPS = ("write", "append", "fsync", "replace", "dirsync", "unlink")
 
 _NO_FAULT = FaultAction()
 
@@ -431,8 +433,11 @@ class FsyncLossInjector(StorageFaultInjector):
     """An fsync reports success but the data never hits the platter.
 
     At an ``fsync`` boundary the file is rolled back to its pre-write
-    content and the process dies — the classic lost-write window.  At
-    any other boundary the process dies right after the operation.
+    content and the process dies — the classic lost-write window.  An
+    ``unlink`` boundary is lost the same way: the removal never reaches
+    the disk (the retired file survives the crash), modelling a
+    directory entry whose deletion was never journalled.  At any other
+    boundary the process dies right after the operation.
     """
 
     name = "fsync-loss"
@@ -440,6 +445,9 @@ class FsyncLossInjector(StorageFaultInjector):
     def _fire(self, op: str, path: str, size: int) -> FaultAction:
         if op == "fsync":
             self._record("fsync-loss", path)
+            return FaultAction(lose=True, crash_after=True)
+        if op == "unlink":
+            self._record("unlink-loss", path)
             return FaultAction(lose=True, crash_after=True)
         self._record("crash-after", f"{op} {path}")
         return FaultAction(crash_after=True)

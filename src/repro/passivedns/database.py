@@ -57,7 +57,7 @@ from repro.clock import SECONDS_PER_DAY, month_key
 from repro.dns.message import RCode
 from repro.dns.name import DomainName
 from repro.passivedns.record import DnsObservation
-from repro.passivedns.spill import SpillStore
+from repro.passivedns.spill import DIGEST_MASK, SpillStore
 from repro.errors import ConfigError, CorruptArchiveError
 
 #: Sentinels for a freshly interned domain before its first row lands:
@@ -170,7 +170,14 @@ class PassiveDnsDatabase:
         deduplicate: bool = False,
         spill_dir: Optional[Any] = None,
         spill_faults: Optional[Any] = None,
+        spill_paranoid: bool = False,
+        spill_read_only: bool = False,
+        spill_compact_threshold: int = 0,
     ) -> None:
+        if spill_compact_threshold < 0 or spill_compact_threshold == 1:
+            raise ConfigError(
+                "spill_compact_threshold must be 0 (off) or at least 2"
+            )
         self._id_of: Dict[DomainName, int] = {}
         self._domains: List[DomainName] = []
         # Per-domain aggregate columns (parallel to ``_domains``).
@@ -184,6 +191,11 @@ class PassiveDnsDatabase:
         # Row storage: immutable consolidated chunks plus a numpy tail
         # buffer sealed at ``_CHUNK`` rows (no whole-store refreezes).
         self._chunks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        #: Spill segment name per chunk (None = in-memory chunk), kept
+        #: parallel to ``_chunks`` so digests can be cached per segment.
+        self._chunk_spill_names: List[Optional[str]] = []
+        #: Per-segment mergeable row digests (recomputable from rows).
+        self._segment_digest_cache: Dict[str, int] = {}
         self._tail_domain = _IntColumn(self._CHUNK)
         self._tail_time = _IntColumn(self._CHUNK)
         self._tail_count = _IntColumn(self._CHUNK)
@@ -200,9 +212,17 @@ class PassiveDnsDatabase:
         self.duplicates_suppressed = 0
         #: Durable segment store when opened with ``spill_dir=``.
         self._spill: Optional[SpillStore] = None
+        #: Committed segments at/above this count trigger auto-
+        #: compaction inside :meth:`spill_commit` (0 = never).
+        self._spill_compact_threshold = spill_compact_threshold
         if spill_dir is not None:
-            self._spill = SpillStore.open(spill_dir, faults=spill_faults)
-            self._restore_from_spill()
+            self._spill = SpillStore.open(
+                spill_dir,
+                faults=spill_faults,
+                paranoid=spill_paranoid,
+                read_only=spill_read_only,
+            )
+            self._restore_from_spill(paranoid=spill_paranoid)
 
     # -- ingestion --------------------------------------------------------
 
@@ -358,15 +378,25 @@ class PassiveDnsDatabase:
             # Spill the sealed rows to a checksummed on-disk segment
             # and keep only a memory map resident.  The segment is
             # durable immediately but joins a manifest generation only
-            # at the next :meth:`spill_commit`.
-            info = self._spill.append_segment(
+            # at the next :meth:`spill_commit`.  Its mergeable row
+            # digest is computed here, once, while the rows are hot —
+            # commits then combine per-segment digests in O(#segments).
+            digest = self._rows_digest(
                 self._tail_domain.view(),
                 self._tail_time.view(),
                 self._tail_count.view(),
             )
+            info = self._spill.append_segment(
+                self._tail_domain.view(),
+                self._tail_time.view(),
+                self._tail_count.view(),
+                digest=digest,
+            )
             # Sealing rewrites tail rows as an immutable chunk — the
             # row *content* is unchanged, so caches stay valid.
             self._chunks.append(self._spill.mmap_segment(info))  # repro: noqa[REP204]
+            self._chunk_spill_names.append(info.name)
+            self._segment_digest_cache[info.name] = digest
         else:
             self._chunks.append(
                 (
@@ -375,6 +405,7 @@ class PassiveDnsDatabase:
                     self._tail_count.view().copy(),
                 )
             )
+            self._chunk_spill_names.append(None)
         self._tail_domain.clear()
         self._tail_time.clear()
         self._tail_count.clear()
@@ -442,6 +473,7 @@ class PassiveDnsDatabase:
             # Content-preserving re-chunking of the same rows — a bump
             # here would wrongly invalidate every aggregate cache.
             self._chunks = [columns]  # repro: noqa[REP204]
+            self._chunk_spill_names = [None]
         self._columns_cache = (self._generation, columns)
         return columns
 
@@ -561,6 +593,7 @@ class PassiveDnsDatabase:
                 np.ascontiguousarray(row_count, dtype=np.int64),
             )
         ]
+        db._chunk_spill_names = [None]
         db._n_rows = len(row_domain)
         db._generation = 1
         return db
@@ -572,15 +605,74 @@ class PassiveDnsDatabase:
         """The backing segment store, or ``None`` for in-memory mode."""
         return self._spill
 
-    def _restore_from_spill(self) -> None:
+    def _rows_digest(
+        self, ids: np.ndarray, times: np.ndarray, counts: np.ndarray
+    ) -> int:
+        """Mergeable 128-bit multiset digest of the given rows.
+
+        Per-row BLAKE2 hashes of the canonical ``name\\x00time\\x00count``
+        line, summed mod 2**128 — order-insensitive and additive, so
+        the digest of a merged segment is the sum of its inputs' and a
+        commit's whole-store digest is one sum over per-segment values
+        instead of a concat+sort over every row.
+        """
+        if len(ids) == 0:
+            return 0
+        names = np.asarray([str(d) for d in self._domains], dtype=np.str_)
+        lines = names[np.ascontiguousarray(ids, dtype=np.int64)]
+        for column in (times, counts):
+            lines = np.char.add(
+                np.char.add(lines, "\x00"),
+                np.ascontiguousarray(column, dtype=np.int64).astype(np.str_),
+            )
+        total = 0
+        for line in lines.tolist():
+            piece = hashlib.blake2b(
+                line.encode("utf-8"), digest_size=16
+            ).digest()
+            total += int.from_bytes(piece, "big")
+        return total & DIGEST_MASK
+
+    def digest(self) -> str:
+        """Order-insensitive, mergeable whole-store digest (32 hex).
+
+        The multiset-sum counterpart of :meth:`fingerprint`: same rows
+        in any order give the same value, but unlike the fingerprint it
+        is computed from cached per-segment digests in O(#segments) on
+        a spill-backed store — what makes checkpoint commits O(new
+        rows).  :meth:`fingerprint` (SHA-256 over a canonical sort)
+        stays the external identity; this digest is the store's own
+        integrity record in the manifest.
+        """
+        return self._cached(("digest",), self._build_digest)
+
+    def _build_digest(self) -> str:
+        total = 0
+        names = self._chunk_spill_names
+        for index, (ids, times, counts) in enumerate(self._parts()):
+            name = names[index] if index < len(names) else None
+            if name is not None:
+                value = self._segment_digest_cache.get(name)
+                if value is None:
+                    value = self._rows_digest(ids, times, counts)
+                    self._segment_digest_cache[name] = value
+            else:
+                value = self._rows_digest(ids, times, counts)
+            total += value
+        return f"{total & DIGEST_MASK:032x}"
+
+    def _restore_from_spill(self, paranoid: bool = False) -> None:
         """Rehydrate from the spill store's recovered generation.
 
         The domain table comes from the ``domains`` sidecar; the row
-        parts stay on disk as memory maps.  When the committed
-        manifest recorded a store fingerprint, the restored contents
-        are verified against it — a mismatch (which per-segment CRCs
-        should make unreachable) raises :class:`CorruptArchiveError`
-        rather than serving silently wrong data.
+        parts stay on disk as memory maps.  Per-segment digests are
+        adopted from the manifest (``paranoid=True`` recomputes each
+        from its rows and rejects a mismatch), then the whole-store
+        digest — and, for manifests from before the digest era, the
+        legacy whole-store fingerprint — is verified against the
+        committed record.  A mismatch raises
+        :class:`CorruptArchiveError` rather than serving silently
+        wrong data.
         """
         store = self._spill
         assert store is not None
@@ -619,9 +711,28 @@ class PassiveDnsDatabase:
                     "segment references a domain id beyond the sidecar table",
                 )
             self._chunks.append((ids, times, counts))
+            self._chunk_spill_names.append(info.name)
             self._n_rows += len(ids)
+            if info.digest is not None and not paranoid:
+                self._segment_digest_cache[info.name] = info.digest
+            else:
+                value = self._rows_digest(ids, times, counts)
+                if info.digest is not None and value != info.digest:
+                    raise CorruptArchiveError(
+                        store.directory / "segments" / info.name,
+                        "segment row digest does not match manifest",
+                    )
+                self._segment_digest_cache[info.name] = value
         if self._n_rows:
             self._generation = 1
+        expected_digest = store.meta.get("store_digest")
+        if expected_digest is not None and self.digest() != expected_digest:
+            raise CorruptArchiveError(
+                store.directory,
+                "recovered store digest does not match manifest",
+            )
+        # Manifests committed before the digest era carried the sorted
+        # whole-store fingerprint instead; keep honouring it.
         expected = store.meta.get("store_fingerprint")
         if expected is not None and self.fingerprint() != expected:
             raise CorruptArchiveError(
@@ -649,18 +760,77 @@ class PassiveDnsDatabase:
 
         Seals the tail into one last segment, writes the domain-table
         sidecar, and commits a manifest whose ``meta`` carries the
-        caller's payload plus the store fingerprint (verified on the
-        next open).  Returns the committed generation number.
+        caller's payload plus the mergeable store digest (verified on
+        the next open).  The digest is combined from cached per-segment
+        values, so the commit costs O(new rows), not O(store).  When
+        ``spill_compact_threshold`` is set and the committed segment
+        count has reached it, the store is compacted in the same call.
+        Returns the (possibly superseding) committed generation.
         """
         if self._spill is None:
             raise ConfigError("store was not opened with spill_dir")
         self._seal_tail()
         self._spill.write_sidecar("domains", self._domains_sidecar_bytes())
         manifest_meta = dict(meta or {})
-        manifest_meta["store_fingerprint"] = self.fingerprint()
+        manifest_meta["store_digest"] = self.digest()
         manifest_meta["rows"] = int(self._n_rows)
         manifest_meta["domains"] = len(self._domains)
-        return self._spill.commit(manifest_meta)
+        generation = self._spill.commit(manifest_meta)
+        threshold = self._spill_compact_threshold
+        if threshold and len(self._spill.segments()) >= threshold:
+            compacted = self.spill_compact()
+            if compacted is not None:
+                generation = compacted
+        return generation
+
+    def spill_compact(self, min_segments: int = 2) -> Optional[int]:
+        """Compact the committed segments into one superseding one.
+
+        Delegates to :meth:`SpillStore.compact` (crash-safe generation
+        supersession), then re-chunks this store's resident memory
+        maps onto the merged segment.  Row content and order are
+        unchanged, so every aggregate cache, the fingerprint, and the
+        digest stay valid — which is also the post-compaction check:
+        the merged segment's digest is recomputed from its rows and
+        must equal the sum of its inputs' recorded digests (O(new
+        rows)).  Returns the new generation, or ``None`` when there
+        was nothing to compact.
+        """
+        if self._spill is None:
+            raise ConfigError("store was not opened with spill_dir")
+        if len(self._tail_domain):
+            raise ConfigError(
+                "spill_commit before compacting: the tail is unsealed"
+            )
+        generation = self._spill.compact(min_segments=min_segments)
+        if generation is None:
+            return None
+        chunks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        names: List[Optional[str]] = []
+        for info in self._spill.segments():
+            part = self._spill.mmap_segment(info)
+            if info.name not in self._segment_digest_cache:
+                value = self._rows_digest(*part)
+                if info.digest is not None and value != info.digest:
+                    raise CorruptArchiveError(
+                        self._spill.directory / "segments" / info.name,
+                        "merged segment rows do not reproduce the "
+                        "combined digest of its inputs",
+                    )
+                self._segment_digest_cache[info.name] = value
+            chunks.append(part)
+            names.append(info.name)
+        # Content-preserving re-chunking of the same rows in the same
+        # order — a bump here would wrongly invalidate every cache.
+        self._chunks = chunks  # repro: noqa[REP204]
+        self._chunk_spill_names = names
+        live = {name for name in names if name is not None}
+        self._segment_digest_cache = {
+            key: value
+            for key, value in self._segment_digest_cache.items()
+            if key in live
+        }
+        return generation
 
     def copy_rows_into(self, target: "PassiveDnsDatabase") -> None:
         """Replay every stored row into ``target``, part by part.

@@ -181,9 +181,13 @@ def save_checkpoint(
     return root
 
 
-def _spill_checkpoint_state(root: Path) -> Optional[CheckpointState]:
+def _spill_checkpoint_state(
+    root: Path, spill_compact_threshold: int = 0
+) -> Optional[CheckpointState]:
     """Load a checkpoint committed into a spill directory's manifest."""
-    db = PassiveDnsDatabase(spill_dir=root)
+    db = PassiveDnsDatabase(
+        spill_dir=root, spill_compact_threshold=spill_compact_threshold
+    )
     assert db.spill is not None
     manifest = db.spill.meta.get("checkpoint")
     if manifest is None:
@@ -212,19 +216,26 @@ def _spill_checkpoint_state(root: Path) -> Optional[CheckpointState]:
     )
 
 
-def load_checkpoint(directory: PathLike) -> Optional[CheckpointState]:
+def load_checkpoint(
+    directory: PathLike, *, spill_compact_threshold: int = 0
+) -> Optional[CheckpointState]:
     """Read a snapshot written by :func:`save_checkpoint`.
 
     Detects the layout: a spill directory (journaled manifest store)
     is recovered through :class:`~repro.passivedns.spill.SpillStore`;
-    otherwise the classic ``checkpoint.npz`` pair is read.  Returns
-    ``None`` when no checkpoint exists; raises
-    :class:`CorruptArchiveError` when one exists but fails integrity
-    checks, :class:`ConfigError` on a version we do not speak.
+    otherwise the classic ``checkpoint.npz`` pair is read.
+    ``spill_compact_threshold`` is forwarded to the recovered
+    spill-backed store so a resumed pipeline keeps its auto-compaction
+    posture; it is ignored for the ``.npz`` layout.  Returns ``None``
+    when no checkpoint exists; raises :class:`CorruptArchiveError`
+    when one exists but fails integrity checks, :class:`ConfigError`
+    on a version we do not speak.
     """
     root = Path(directory)
     if (root / "CURRENT").exists() or (root / "journal.log").exists():
-        return _spill_checkpoint_state(root)
+        return _spill_checkpoint_state(
+            root, spill_compact_threshold=spill_compact_threshold
+        )
     manifest_path = root / "checkpoint.json"
     if not manifest_path.exists():
         return None

@@ -24,7 +24,9 @@ Guarantees:
   :class:`~repro.passivedns.spill.SpillStore` and each checkpoint is a
   manifest-generation commit — an injected crash at any write boundary
   rolls back to the last committed generation on resume, never to a
-  torn archive.
+  torn archive; once a checkpoint leaves ``spill_compact_threshold``
+  segments on disk the commit also compacts them into one superseding
+  generation, so long ingests never accumulate unbounded segments.
 """
 
 from __future__ import annotations
@@ -98,6 +100,7 @@ class ResilientIngestPipeline:
         checkpoint_every: int = 0,
         spill_dir: Optional[PathLike] = None,
         spill_faults: Optional[object] = None,
+        spill_compact_threshold: int = 16,
     ) -> None:
         if checkpoint_every < 0:
             raise ConfigError("checkpoint_every must be non-negative")
@@ -124,10 +127,12 @@ class ResilientIngestPipeline:
         self.checkpoint_every = checkpoint_every
         self.stats = PipelineStats()
         self.dead_letters = DeadLetterQueue(capacity=dead_letter_capacity)
+        self.spill_compact_threshold = spill_compact_threshold
         self.database = PassiveDnsDatabase(
             deduplicate=deduplicate,
             spill_dir=spill_dir,
             spill_faults=spill_faults,
+            spill_compact_threshold=spill_compact_threshold,
         )
         self.channel = SieChannel(
             error_policy=DeliveryErrorPolicy.DEAD_LETTER,
@@ -287,7 +292,14 @@ class ResilientIngestPipeline:
         """
         if self.checkpoint_dir is None:
             raise ConfigError("pipeline was built without a checkpoint_dir")
-        state = load_checkpoint(self.checkpoint_dir)
+        state = load_checkpoint(
+            self.checkpoint_dir,
+            spill_compact_threshold=(
+                self.spill_compact_threshold
+                if self.database.spill is not None
+                else 0
+            ),
+        )
         if state is None:
             return 0
         self.database = state.database

@@ -11,8 +11,10 @@ monotonically versioned JSON manifest:
   CURRENT                  name of the committed manifest (atomic swap)
   manifest-0000003.json    one per committed generation (self-checksummed)
   journal.log              append-only intent records (JSONL, fsync'd)
+  verified.json            verified-at cache (stat+CRC, self-checksummed)
   segments/seg-0000001.npy immutable (3, n) int64 row triples
   quarantine/              damaged/orphaned files moved aside on open
+  quarantine/index.json    typed retention index for quarantined files
 ```
 
 Commit protocol (every arrow is a separate durability boundary):
@@ -23,6 +25,13 @@ Commit protocol (every arrow is a separate durability boundary):
    (tmp+fsync+rename) → swap ``CURRENT`` (tmp+fsync+rename) → append a
    ``commit`` line.
 
+:meth:`SpillStore.compact` is the log-structured half: it merges every
+committed segment into one, commits the merged manifest through the
+same journaled discipline, read-back-verifies it, and only *then*
+retires the superseded files (``unlink`` boundaries, manifests first).
+The supersession invariant: a crash at any boundary recovers either
+the old generation or the new one, never a hybrid.
+
 :meth:`SpillStore.open` is the recovery scan: it verifies every
 manifest's self-checksum and every referenced segment's CRC32/size,
 quarantines torn manifests, damaged segments, orphaned temp files and
@@ -30,6 +39,13 @@ uncommitted segments into ``quarantine/`` with a typed
 :class:`RecoveryReport`, and resumes from the newest fully consistent
 generation.  It never returns silently wrong data: what it serves
 passed every checksum, and everything else is named in the report.
+Reopens are incremental: segments whose ``verified.json`` record still
+matches on stat (mtime+size) and manifest CRC skip the byte stream;
+``paranoid=True`` ignores the cache and streams everything, and a
+missing/damaged cache degrades to exactly that full scan.
+``read_only=True`` opens a store for serving: nothing is created,
+moved, or written — would-be quarantine actions are only *reported* —
+so a reader can safely open a directory another process is writing.
 
 All durable IO flows through :class:`_DurableIo`, whose boundaries an
 optional storage fault injector (``repro.faults.injectors``:
@@ -54,6 +70,14 @@ import numpy as np
 from repro.errors import ConfigError, CorruptArchiveError
 
 SPILL_FORMAT_VERSION = 1
+VERIFIED_CACHE_VERSION = 1
+VERIFIED_CACHE_NAME = "verified.json"
+QUARANTINE_INDEX_NAME = "index.json"
+
+#: Modulus of the mergeable per-segment row digest (see
+#: ``PassiveDnsDatabase.digest``): per-row BLAKE2 hashes summed mod
+#: 2**128, so the digest of a merged segment is the sum of its inputs'.
+DIGEST_MASK = (1 << 128) - 1
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -207,6 +231,38 @@ class _DurableIo:
         self._boundary("append", path, payload)
         self._boundary("fsync", path, None)
 
+    def unlink(self, path: Path) -> None:
+        """Remove one retired file (an ``unlink`` boundary).
+
+        A lost unlink (``FaultAction.lose``) leaves the file in place —
+        the removal never reached the disk — which is why retirement
+        tolerates already-present debris: recovery quarantines it.
+        """
+        if self.injector is None:
+            self._unlink_quiet(path)
+            return
+        action = self.injector.decide("unlink", str(path), 0)
+        if action.crash_before:
+            self.injector.crash(f"before unlink {path.name}")
+        if not action.lose:
+            self._unlink_quiet(path)
+        if action.crash_after:
+            self.injector.crash(f"after unlink {path.name}")
+
+    @staticmethod
+    def _unlink_quiet(path: Path) -> None:
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+
+    def sync_directory(self, directory: Path) -> None:
+        """Flush a directory entry (a ``dirsync`` boundary)."""
+        if self.injector is None:
+            fsync_directory(directory)
+            return
+        self._boundary("dirsync", directory, None)
+
 
 # ---------------------------------------------------------------------------
 # manifest / report record types
@@ -220,15 +276,24 @@ class SegmentInfo:
     name: str
     rows: int
     crc32: int
+    #: Optional mergeable 128-bit multiset digest of the rows (sum of
+    #: per-row BLAKE2 hashes mod 2**128).  ``None`` for segments
+    #: written before the digest era; merged segments inherit the sum
+    #: of their inputs' digests, which is what makes post-compaction
+    #: verification O(new rows) instead of O(store).
+    digest: Optional[int] = None
 
     def to_json(self) -> List[Any]:
-        """Compact manifest form."""
-        return [self.name, self.rows, self.crc32]
+        """Compact manifest form (digest as hex, omitted when absent)."""
+        if self.digest is None:
+            return [self.name, self.rows, self.crc32]
+        return [self.name, self.rows, self.crc32, f"{self.digest:032x}"]
 
     @classmethod
     def from_json(cls, payload: List[Any]) -> "SegmentInfo":
         """Inverse of :meth:`to_json`."""
-        return cls(str(payload[0]), int(payload[1]), int(payload[2]))
+        digest = int(str(payload[3]), 16) if len(payload) > 3 else None
+        return cls(str(payload[0]), int(payload[1]), int(payload[2]), digest)
 
 
 @dataclass(frozen=True)
@@ -255,14 +320,24 @@ class SidecarInfo:
 
 @dataclass(frozen=True)
 class QuarantineEntry:
-    """One file the recovery scan moved aside, and why."""
+    """One file the recovery scan moved aside, and why.
 
-    #: Original name relative to the spill directory.
+    In a :class:`RecoveryReport`, ``path`` is the original name
+    relative to the spill directory; entries returned by
+    :meth:`SpillStore.quarantine_entries` instead carry the file's
+    current name inside ``quarantine/``.  A read-only open *reports*
+    entries without moving anything.
+    """
+
     path: str
     #: ``torn-manifest`` | ``damaged-segment`` | ``damaged-sidecar`` |
-    #: ``orphan-segment`` | ``orphan-sidecar`` | ``orphan-temp``
+    #: ``orphan-segment`` | ``orphan-sidecar`` | ``orphan-temp`` |
+    #: ``damaged-cache`` | ``unknown`` (predates the index)
     kind: str
     detail: str = ""
+    #: Store generation live when the file was quarantined (0 when
+    #: unknown) — the retention key for :meth:`purge_quarantine`.
+    generation: int = 0
 
 
 @dataclass
@@ -278,6 +353,16 @@ class RecoveryReport:
     torn_journal_tail: bool = False
     #: Journal intents with no committed outcome (labels the orphans).
     unfinished_intents: List[str] = field(default_factory=list)
+    #: Segment files whose bytes were CRC-streamed during this open
+    #: (the full-scan cost the verified-at cache exists to avoid).
+    segments_crc_streamed: int = 0
+    #: Segment/sidecar verifications satisfied by the verified-at
+    #: cache (stat match + manifest CRC equality, no byte stream).
+    cache_hits: int = 0
+    #: Fate of the verified-at cache for this open: ``"loaded"`` |
+    #: ``"missing"`` | ``"damaged"`` | ``"paranoid"`` (deliberately
+    #: bypassed).
+    verified_cache: str = "missing"
 
     def clean(self) -> bool:
         """True when recovery found nothing to repair or quarantine."""
@@ -322,6 +407,123 @@ def _stream_crc32(path: Path) -> int:
 
 
 # ---------------------------------------------------------------------------
+# verified-at cache + quarantine plumbing
+# ---------------------------------------------------------------------------
+
+
+class _VerifiedCache:
+    """The verified-at cache: per-file stat+CRC facts from a past scan.
+
+    Trust model: an entry is honoured only when the file's current
+    mtime_ns+size match the recorded ones *and* the recorded CRC
+    equals the CRC the manifest under verification expects.  The cache
+    can therefore only ever skip work that a full scan would have
+    confirmed — a tampered file changes stat or fails the manifest-CRC
+    equality, and a stale cache (e.g. rolled back by a lost fsync)
+    causes misses, never false hits, because segment/sidecar names are
+    monotonic and never reused.  In-place tampering that forges
+    mtime+size is outside the model; ``paranoid=True`` exists for it.
+    """
+
+    def __init__(
+        self, entries: Optional[Dict[str, List[int]]] = None
+    ) -> None:
+        #: relpath → [mtime_ns, size, crc32]
+        self.entries: Dict[str, List[int]] = dict(entries or {})
+
+    @classmethod
+    def load(cls, root: Path) -> Tuple[str, "_VerifiedCache"]:
+        """(state, cache) where state ∈ loaded|missing|damaged."""
+        path = root / VERIFIED_CACHE_NAME
+        if not path.exists():
+            return "missing", cls()
+        try:
+            document = json.loads(path.read_bytes().decode("utf-8"))
+            payload = document["payload"]
+            encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+            if _crc32(encoded) != document.get("checksum"):
+                return "damaged", cls()
+            if payload.get("format") != VERIFIED_CACHE_VERSION:
+                return "damaged", cls()
+            entries = {
+                str(rel): [int(v) for v in value]
+                for rel, value in payload.get("entries", {}).items()
+            }
+            for value in entries.values():
+                if len(value) != 3:
+                    return "damaged", cls()
+        except (
+            json.JSONDecodeError,
+            UnicodeDecodeError,
+            KeyError,
+            TypeError,
+            ValueError,
+            OSError,
+        ):
+            return "damaged", cls()
+        return "loaded", cls(entries)
+
+    def fresh(self, path: Path, relative: str, crc32: int) -> bool:
+        """True when ``path`` still matches its record *and* ``crc32``."""
+        value = self.entries.get(relative)
+        if value is None:
+            return False
+        try:
+            stat = path.stat()
+        except OSError:
+            return False
+        return (
+            value[0] == stat.st_mtime_ns
+            and value[1] == stat.st_size
+            and value[2] == crc32
+        )
+
+    def encode(self) -> bytes:
+        """Self-checksummed document bytes (same envelope as manifests)."""
+        payload = {
+            "format": VERIFIED_CACHE_VERSION,
+            "entries": {
+                key: list(value)
+                for key, value in sorted(self.entries.items())
+            },
+        }
+        encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return json.dumps(
+            {"payload": payload, "checksum": _crc32(encoded)},
+            sort_keys=True,
+            indent=1,
+        ).encode("utf-8")
+
+
+class _QuarantineSink:
+    """Collects quarantine decisions; moves files only when writable.
+
+    Read-only opens pass ``quarantine_dir=None``: every decision still
+    lands in the report (the caller is told exactly what a writable
+    open would have moved), but the directory is left untouched — the
+    property that makes concurrent read-only opens safe against a live
+    writer's staged-but-uncommitted files.
+    """
+
+    def __init__(
+        self, quarantine_dir: Optional[Path], report: RecoveryReport
+    ) -> None:
+        self.quarantine_dir = quarantine_dir
+        self.report = report
+        #: (name inside quarantine/, entry) for files actually moved.
+        self.moved: List[Tuple[str, QuarantineEntry]] = []
+
+    def take(self, path: Path, relative: str, kind: str, detail: str) -> None:
+        """Report ``path`` as quarantined; move it if writable."""
+        entry = QuarantineEntry(relative, kind, detail)
+        self.report.quarantined.append(entry)
+        if self.quarantine_dir is None or not path.exists():
+            return
+        target = _quarantine(path, self.quarantine_dir)
+        self.moved.append((target.name, entry))
+
+
+# ---------------------------------------------------------------------------
 # the store
 # ---------------------------------------------------------------------------
 
@@ -345,8 +547,10 @@ class SpillStore:
         report: RecoveryReport,
         next_segment: int,
         next_sidecar: int,
+        read_only: bool = False,
     ) -> None:
         self.directory = directory
+        self.read_only = read_only
         self._io = io_layer
         self._segments: List[SegmentInfo] = (
             list(manifest.segments) if manifest else []
@@ -367,9 +571,19 @@ class SpillStore:
 
     @classmethod
     def open(
-        cls, directory: PathLike, faults: Optional[Any] = None
+        cls,
+        directory: PathLike,
+        faults: Optional[Any] = None,
+        paranoid: bool = False,
+        read_only: bool = False,
     ) -> "SpillStore":
         """Open (or initialize) a spill directory, recovering if needed.
+
+        ``paranoid=True`` ignores the verified-at cache and streams
+        every referenced byte (the full PR-5 scan).  ``read_only=True``
+        opens for serving: nothing is created or moved — damage is
+        reported, not quarantined — and every write method raises
+        :class:`ConfigError`; the directory must already exist.
 
         Raises :class:`CorruptArchiveError` when ``directory`` exists
         but is not a spill store (e.g. it is a file, or holds foreign
@@ -378,30 +592,68 @@ class SpillStore:
         root = Path(directory)
         if root.exists() and not root.is_dir():
             raise CorruptArchiveError(root, "spill path is not a directory")
+        if read_only:
+            if faults is not None:
+                raise ConfigError(
+                    "read-only opens perform no writes to inject into"
+                )
+            if not root.is_dir():
+                raise ConfigError(
+                    f"read-only open of missing spill directory {root}"
+                )
         segments_dir = root / "segments"
         quarantine_dir = root / "quarantine"
-        segments_dir.mkdir(parents=True, exist_ok=True)
-        quarantine_dir.mkdir(parents=True, exist_ok=True)
+        if not read_only:
+            segments_dir.mkdir(parents=True, exist_ok=True)
+            quarantine_dir.mkdir(parents=True, exist_ok=True)
         io_layer = _DurableIo(faults)
         report = RecoveryReport()
+        sink = _QuarantineSink(None if read_only else quarantine_dir, report)
+        if paranoid:
+            cache: Optional[_VerifiedCache] = None
+            report.verified_cache = "paranoid"
+        else:
+            state, cache = _VerifiedCache.load(root)
+            report.verified_cache = state
+            if state == "damaged":
+                cache = None
+                sink.take(
+                    root / VERIFIED_CACHE_NAME,
+                    VERIFIED_CACHE_NAME,
+                    "damaged-cache",
+                    "verified-at cache failed its self-checksum; "
+                    "fell back to the full scan",
+                )
         journal_intents = cls._scan_journal(root, report)
-        manifests = cls._scan_manifests(root, quarantine_dir, report)
-        chosen = cls._choose_generation(
-            root, manifests, quarantine_dir, report
-        )
+        manifests = cls._scan_manifests(root, sink)
+        chosen = cls._choose_generation(root, manifests, sink, report, cache)
         cls._quarantine_strays(
             root,
             segments_dir,
-            quarantine_dir,
             [manifest for _, manifest in manifests],
-            report,
+            sink,
             journal_intents,
         )
         report.generation = chosen.generation if chosen else 0
         next_segment, next_sidecar = cls._next_counters(root, journal_intents)
-        return cls(
-            root, io_layer, chosen, report, next_segment, next_sidecar
+        store = cls(
+            root,
+            io_layer,
+            chosen,
+            report,
+            next_segment,
+            next_sidecar,
+            read_only=read_only,
         )
+        if not read_only:
+            store._update_quarantine_index(sink.moved)
+            if chosen is not None:
+                # Persist what this scan just proved so the next open
+                # is O(changed segments).  Skipped on an empty store:
+                # there is nothing to record and a fresh directory
+                # should stay byte-empty until data arrives.
+                store._refresh_verified_cache()
+        return store
 
     @staticmethod
     def _scan_journal(root: Path, report: RecoveryReport) -> List[Dict[str, Any]]:
@@ -442,7 +694,7 @@ class SpillStore:
 
     @staticmethod
     def _scan_manifests(
-        root: Path, quarantine_dir: Path, report: RecoveryReport
+        root: Path, sink: _QuarantineSink
     ) -> List[Tuple[Path, _Manifest]]:
         """Load every manifest file, quarantining the unverifiable ones."""
         found: List[Tuple[Path, _Manifest]] = []
@@ -452,10 +704,7 @@ class SpillStore:
             try:
                 manifest = _parse_manifest(path.read_bytes())
             except CorruptArchiveError as error:
-                _quarantine(path, quarantine_dir)
-                report.quarantined.append(
-                    QuarantineEntry(path.name, "torn-manifest", error.detail)
-                )
+                sink.take(path, path.name, "torn-manifest", error.detail)
                 continue
             found.append((path, manifest))
         found.sort(key=lambda item: item[1].generation)
@@ -466,8 +715,9 @@ class SpillStore:
         cls,
         root: Path,
         manifests: List[Tuple[Path, _Manifest]],
-        quarantine_dir: Path,
+        sink: _QuarantineSink,
         report: RecoveryReport,
+        cache: Optional[_VerifiedCache],
     ) -> Optional[_Manifest]:
         """Newest generation whose segments and sidecars all verify.
 
@@ -477,44 +727,68 @@ class SpillStore:
         kept.  ``CURRENT`` is advisory — a lost swap must not hide a
         fully committed newer manifest, and a torn ``CURRENT`` must
         not take the store down.
+
+        With a verified-at ``cache``, a file whose stat record matches
+        and whose cached CRC equals *this manifest's* expected CRC
+        skips the byte stream (a cache hit); everything else pays the
+        full :func:`_verify_segment` / :func:`_verify_sidecar` scan.
         """
         damaged: set = set()
         for path, manifest in reversed(manifests):
-            bad: List[QuarantineEntry] = []
+            bad: List[Tuple[Path, QuarantineEntry]] = []
             for segment in manifest.segments:
-                problem = _verify_segment(root / "segments" / segment.name, segment)
+                target = root / "segments" / segment.name
+                relative = f"segments/{segment.name}"
+                if cache is not None and cache.fresh(
+                    target, relative, segment.crc32
+                ):
+                    report.cache_hits += 1
+                    continue
+                if target.exists():
+                    report.segments_crc_streamed += 1
+                problem = _verify_segment(target, segment)
                 if problem is not None:
                     bad.append(
-                        QuarantineEntry(
-                            f"segments/{segment.name}", "damaged-segment", problem
+                        (
+                            target,
+                            QuarantineEntry(
+                                relative, "damaged-segment", problem
+                            ),
                         )
                     )
             for sidecar in manifest.sidecars:
-                problem = _verify_sidecar(root / sidecar.name, sidecar)
+                target = root / sidecar.name
+                if cache is not None and cache.fresh(
+                    target, sidecar.name, sidecar.crc32
+                ):
+                    report.cache_hits += 1
+                    continue
+                problem = _verify_sidecar(target, sidecar)
                 if problem is not None:
                     bad.append(
-                        QuarantineEntry(sidecar.name, "damaged-sidecar", problem)
+                        (
+                            target,
+                            QuarantineEntry(
+                                sidecar.name, "damaged-sidecar", problem
+                            ),
+                        )
                     )
             if not bad:
                 return manifest
             report.rejected_generations.append(manifest.generation)
-            for entry in bad:
+            for target, entry in bad:
                 if entry.path in damaged:
                     continue
                 damaged.add(entry.path)
-                target = root / entry.path
-                if target.exists():
-                    _quarantine(target, quarantine_dir)
-                report.quarantined.append(entry)
+                sink.take(target, entry.path, entry.kind, entry.detail)
         return None
 
     @staticmethod
     def _quarantine_strays(
         root: Path,
         segments_dir: Path,
-        quarantine_dir: Path,
         manifests: List[_Manifest],
-        report: RecoveryReport,
+        sink: _QuarantineSink,
         journal_intents: List[Dict[str, Any]],
     ) -> None:
         """Move aside temp files and uncommitted segments/sidecars.
@@ -522,23 +796,23 @@ class SpillStore:
         A file referenced by *any* checksum-valid manifest is kept —
         older generations are the fallback chain for future recoveries
         — so only files no committed manifest ever named (uncommitted
-        stages from a crashed writer) are moved aside.
+        stages from a crashed writer, or retirement debris a lost
+        unlink left behind after compaction) are moved aside.
         """
         referenced = {s.name for m in manifests for s in m.segments}
         sidecar_names = {s.name for m in manifests for s in m.sidecars}
         intended = {
             str(record.get("name"))
             for record in journal_intents
-            if record.get("op") in ("segment-intent", "sidecar-intent")
+            if record.get("op")
+            in ("segment-intent", "sidecar-intent", "compact-intent")
         }
+        quarantine_dir = root / "quarantine"
         for path in sorted(root.rglob("*.tmp")):
             if quarantine_dir in path.parents:
                 continue
             relative = path.relative_to(root).as_posix()
-            _quarantine(path, quarantine_dir)
-            report.quarantined.append(
-                QuarantineEntry(relative, "orphan-temp", "interrupted write")
-            )
+            sink.take(path, relative, "orphan-temp", "interrupted write")
         for path in sorted(segments_dir.glob("seg-*.npy")):
             if path.name in referenced:
                 continue
@@ -547,9 +821,8 @@ class SpillStore:
                 if path.name in intended
                 else "referenced by no committed manifest"
             )
-            _quarantine(path, quarantine_dir)
-            report.quarantined.append(
-                QuarantineEntry(f"segments/{path.name}", "orphan-segment", detail)
+            sink.take(
+                path, f"segments/{path.name}", "orphan-segment", detail
             )
         for path in sorted(root.glob("*.bin")):
             if path.name in sidecar_names:
@@ -559,10 +832,7 @@ class SpillStore:
                 if path.name in intended
                 else "referenced by no committed manifest"
             )
-            _quarantine(path, quarantine_dir)
-            report.quarantined.append(
-                QuarantineEntry(path.name, "orphan-sidecar", detail)
-            )
+            sink.take(path, path.name, "orphan-sidecar", detail)
 
     @staticmethod
     def _next_counters(
@@ -580,7 +850,8 @@ class SpillStore:
         candidates.extend(
             str(record.get("name", ""))
             for record in journal_intents
-            if record.get("op") in ("segment-intent", "sidecar-intent")
+            if record.get("op")
+            in ("segment-intent", "sidecar-intent", "compact-intent")
         )
         for name in candidates:
             match = _SEGMENT_RE.match(name)
@@ -629,10 +900,26 @@ class SpillStore:
 
     # -- writing ------------------------------------------------------------
 
+    def _assert_writable(self, operation: str) -> None:
+        if self.read_only:
+            raise ConfigError(
+                f"store was opened read-only; {operation} writes"
+            )
+
     def append_segment(
-        self, ids: np.ndarray, times: np.ndarray, counts: np.ndarray
+        self,
+        ids: np.ndarray,
+        times: np.ndarray,
+        counts: np.ndarray,
+        digest: Optional[int] = None,
     ) -> SegmentInfo:
-        """Stage one immutable row segment (durable but uncommitted)."""
+        """Stage one immutable row segment (durable but uncommitted).
+
+        ``digest`` is the caller-computed mergeable row digest (see
+        :class:`SegmentInfo`); the store records it in the manifest
+        but does not recompute it — rows are the caller's domain.
+        """
+        self._assert_writable("append_segment()")
         if not (len(ids) == len(times) == len(counts)):
             raise ConfigError("segment columns must have equal length")
         if len(ids) == 0:
@@ -649,7 +936,9 @@ class SpillStore:
         data = buffer.getvalue()
         name = f"seg-{self._next_segment:07d}.npy"
         self._next_segment += 1
-        info = SegmentInfo(name=name, rows=len(ids), crc32=_crc32(data))
+        info = SegmentInfo(
+            name=name, rows=len(ids), crc32=_crc32(data), digest=digest
+        )
         self._journal(
             {"op": "segment-intent", "name": name, "rows": info.rows}
         )
@@ -671,15 +960,55 @@ class SpillStore:
 
     def write_sidecar(self, kind: str, data: bytes) -> SidecarInfo:
         """Stage a named auxiliary blob for the next commit."""
+        self._assert_writable("write_sidecar()")
         if not kind.isalpha() or not kind.islower():
             raise ConfigError("sidecar kind must be a lowercase word")
         name = f"{kind}-{self._next_sidecar:07d}.bin"
         self._next_sidecar += 1
         info = SidecarInfo(name=name, size=len(data), crc32=_crc32(data))
         self._journal({"op": "sidecar-intent", "name": name})
-        self._io.write_atomic(self.directory / name, data)
+        path = self.directory / name
+        self._io.write_atomic(path, data)
+        # Read-back verification, same contract as append_segment: the
+        # verified-at cache will record this CRC as *proven*, so a
+        # write corrupted in flight must be caught here — before any
+        # manifest references it — not trusted until the next full scan.
+        written = _crc32(path.read_bytes())
+        if written != info.crc32:
+            raise CorruptArchiveError(
+                path,
+                "post-write verification failed "
+                f"(expected {info.crc32:#010x}, file {written:#010x})",
+            )
         self._sidecars[kind] = info
         return info
+
+    def _write_manifest(
+        self,
+        generation: int,
+        segments: List[SegmentInfo],
+        meta: Dict[str, Any],
+    ) -> str:
+        """Write ``manifest-<gen>.json`` atomically; returns its name."""
+        payload = {
+            "format": SPILL_FORMAT_VERSION,
+            "generation": generation,
+            "segments": [s.to_json() for s in segments],
+            "sidecars": [
+                self._sidecars[kind].to_json()
+                for kind in sorted(self._sidecars)
+            ],
+            "meta": dict(meta),
+        }
+        encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+        document = json.dumps(
+            {"payload": payload, "checksum": _crc32(encoded)},
+            sort_keys=True,
+            indent=1,
+        ).encode("utf-8")
+        name = f"manifest-{generation:07d}.json"
+        self._io.write_atomic(self.directory / name, document)
+        return name
 
     def commit(self, meta: Optional[Dict[str, Any]] = None) -> int:
         """Make everything staged durable as a new generation.
@@ -689,25 +1018,9 @@ class SpillStore:
         between the two leaves a fully valid manifest that recovery
         still prefers (``CURRENT`` is advisory).
         """
+        self._assert_writable("commit()")
         generation = self.generation + 1
         segments = list(self._segments) + list(self._pending)
-        payload = {
-            "format": SPILL_FORMAT_VERSION,
-            "generation": generation,
-            "segments": [s.to_json() for s in segments],
-            "sidecars": [
-                self._sidecars[kind].to_json()
-                for kind in sorted(self._sidecars)
-            ],
-            "meta": dict(meta or {}),
-        }
-        encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
-        document = json.dumps(
-            {"payload": payload, "checksum": _crc32(encoded)},
-            sort_keys=True,
-            indent=1,
-        ).encode("utf-8")
-        name = f"manifest-{generation:07d}.json"
         self._journal(
             {
                 "op": "commit-intent",
@@ -715,26 +1028,378 @@ class SpillStore:
                 "segments": [s.name for s in self._pending],
             }
         )
-        self._io.write_atomic(self.directory / name, document)
-        self._io.write_atomic(self.directory / "CURRENT", (name + "\n").encode())
+        name = self._write_manifest(generation, segments, dict(meta or {}))
+        self._io.write_atomic(
+            self.directory / "CURRENT", (name + "\n").encode()
+        )
         self._journal({"op": "commit", "generation": generation})
         self.generation = generation
         self._segments = segments
         self._pending = []
         self.meta = dict(meta or {})
+        self._refresh_verified_cache()
         return generation
+
+    def compact(self, min_segments: int = 2) -> Optional[int]:
+        """Merge every committed segment into one superseding generation.
+
+        The log-structured reclaim step.  Protocol, every arrow its
+        own durability boundary:
+
+        1. journal a ``compact-intent`` naming the merged segment and
+           its inputs;
+        2. write the merged segment (tmp+fsync+rename+dirsync) and
+           CRC-verify it by read-back;
+        3. journal a ``commit-intent``, write the superseding manifest
+           (referencing *only* the merged segment), and **read it back
+           through the full parse+checksum path** — retirement must
+           never start on the strength of a manifest that does not
+           verify on disk (a bit-flipped manifest write survives the
+           writer; deleting the old generation under it would be
+           silent data loss);
+        4. swap ``CURRENT``, journal ``commit``;
+        5. retire superseded files — old manifests first, then
+           unreferenced segments, then unreferenced sidecars, each
+           batch followed by a dirsync.
+
+        A crash before step 4's journal line recovers the *old*
+        generation (the merged segment is quarantined as an orphan); a
+        crash during step 5 recovers the *new* generation with some
+        already-unreferenced debris for the next open to quarantine.
+        Either way the recovered store verifies in full — never a mix.
+
+        Returns the new generation, or ``None`` when fewer than
+        ``min_segments`` committed segments exist.  Staged-but-
+        uncommitted segments must be committed first.
+        """
+        self._assert_writable("compact()")
+        if min_segments < 2:
+            raise ConfigError("min_segments must be at least 2")
+        if self._pending:
+            raise ConfigError(
+                "commit staged segments before compacting"
+            )
+        if len(self._segments) < min_segments:
+            return None
+        inputs = list(self._segments)
+        columns = [self.mmap_segment(info) for info in inputs]
+        stacked = np.vstack(
+            [
+                np.concatenate([c[0] for c in columns]),
+                np.concatenate([c[1] for c in columns]),
+                np.concatenate([c[2] for c in columns]),
+            ]
+        )
+        buffer = io.BytesIO()
+        np.save(buffer, stacked)
+        data = buffer.getvalue()
+        name = f"seg-{self._next_segment:07d}.npy"
+        self._next_segment += 1
+        digest: Optional[int] = 0
+        for info in inputs:
+            if info.digest is None:
+                digest = None
+                break
+            digest = (digest + info.digest) & DIGEST_MASK
+        merged = SegmentInfo(
+            name=name,
+            rows=int(stacked.shape[1]),
+            crc32=_crc32(data),
+            digest=digest,
+        )
+        generation = self.generation + 1
+        self._journal(
+            {
+                "op": "compact-intent",
+                "generation": generation,
+                "name": name,
+                "inputs": [info.name for info in inputs],
+            }
+        )
+        path = self.directory / "segments" / name
+        self._io.write_atomic(path, data)
+        written = _stream_crc32(path)
+        if written != merged.crc32:
+            raise CorruptArchiveError(
+                path,
+                "post-write verification of merged segment failed "
+                f"(expected {merged.crc32:#010x}, file {written:#010x})",
+            )
+        meta = dict(self.meta)
+        meta["compacted"] = {
+            "inputs": [info.name for info in inputs],
+            "merged": name,
+            "superseded_generation": self.generation,
+        }
+        self._journal(
+            {
+                "op": "commit-intent",
+                "generation": generation,
+                "segments": [name],
+            }
+        )
+        manifest_name = self._write_manifest(generation, [merged], meta)
+        parsed = _parse_manifest(
+            (self.directory / manifest_name).read_bytes()
+        )
+        if parsed.generation != generation or [
+            s.name for s in parsed.segments
+        ] != [name]:
+            raise CorruptArchiveError(
+                self.directory / manifest_name,
+                "superseding manifest does not verify on read-back; "
+                "aborting compaction with the old generation intact",
+            )
+        self._io.write_atomic(
+            self.directory / "CURRENT", (manifest_name + "\n").encode()
+        )
+        self._journal({"op": "commit", "generation": generation})
+        self.generation = generation
+        self._segments = [merged]
+        self.meta = meta
+        retired = self._retire_superseded()
+        self._journal(
+            {"op": "retired", "generation": generation, "files": retired}
+        )
+        self._refresh_verified_cache()
+        return generation
+
+    def _retire_superseded(self) -> List[str]:
+        """Delete files the committed manifest no longer references.
+
+        Order matters for the supersession invariant: superseded
+        *manifests* go first (with a dirsync), so no surviving
+        manifest can ever reference a file deleted later in the same
+        pass.  A crash anywhere in here leaves extra-but-unreferenced
+        files that the next open quarantines as orphans — harmless
+        debris, reclaimed by :meth:`purge_quarantine` — never a
+        manifest pointing at a hole.
+        """
+        keep_manifest = f"manifest-{self.generation:07d}.json"
+        keep_segments = {info.name for info in self._segments}
+        keep_sidecars = {info.name for info in self._sidecars.values()}
+        removed: List[str] = []
+        manifests = [
+            path
+            for path in sorted(self.directory.glob("manifest-*.json"))
+            if _MANIFEST_RE.match(path.name) and path.name != keep_manifest
+        ]
+        for path in manifests:
+            self._io.unlink(path)
+            removed.append(path.name)
+        if manifests:
+            self._io.sync_directory(self.directory)
+        segments = [
+            path
+            for path in sorted((self.directory / "segments").glob("seg-*.npy"))
+            if path.name not in keep_segments
+        ]
+        for path in segments:
+            self._io.unlink(path)
+            removed.append(f"segments/{path.name}")
+        if segments:
+            self._io.sync_directory(self.directory / "segments")
+        sidecars = [
+            path
+            for path in sorted(self.directory.glob("*.bin"))
+            if path.name not in keep_sidecars
+        ]
+        for path in sidecars:
+            self._io.unlink(path)
+            removed.append(path.name)
+        if sidecars:
+            self._io.sync_directory(self.directory)
+        return removed
+
+    def _refresh_verified_cache(self) -> None:
+        """Record stat+CRC facts for every live file (atomic write).
+
+        Advisory by design: any failure to record (a racing stat, an
+        injected crash) only costs the next open a full scan, so a
+        missing file here is simply skipped — the recovery scan is
+        the authority on whether it matters.
+        """
+        cache = _VerifiedCache()
+        for info in self._segments:
+            path = self.directory / "segments" / info.name
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            cache.entries[f"segments/{info.name}"] = [
+                stat.st_mtime_ns,
+                stat.st_size,
+                info.crc32,
+            ]
+        for sidecar in self._sidecars.values():
+            path = self.directory / sidecar.name
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            cache.entries[sidecar.name] = [
+                stat.st_mtime_ns,
+                stat.st_size,
+                sidecar.crc32,
+            ]
+        self._io.write_atomic(
+            self.directory / VERIFIED_CACHE_NAME, cache.encode()
+        )
 
     def _journal(self, record: Dict[str, Any]) -> None:
         self._io.append_line(
             self.directory / "journal.log", json.dumps(record, sort_keys=True)
         )
 
+    # -- quarantine reclamation ---------------------------------------------
+
+    def _load_quarantine_index(self) -> Dict[str, Dict[str, Any]]:
+        """Typed retention records, keyed by name inside quarantine/."""
+        path = self.directory / "quarantine" / QUARANTINE_INDEX_NAME
+        if not path.exists():
+            return {}
+        try:
+            document = json.loads(path.read_bytes().decode("utf-8"))
+            payload = document["payload"]
+            encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+            if _crc32(encoded) != document.get("checksum"):
+                return {}
+            return {
+                str(key): dict(value)
+                for key, value in payload.get("entries", {}).items()
+            }
+        except (
+            json.JSONDecodeError,
+            UnicodeDecodeError,
+            KeyError,
+            TypeError,
+            ValueError,
+            OSError,
+        ):
+            # A damaged index loses the *labels*, never the evidence:
+            # the files stay, listed with kind "unknown".
+            return {}
+
+    def _write_quarantine_index(
+        self, entries: Dict[str, Dict[str, Any]]
+    ) -> None:
+        payload = {
+            "format": 1,
+            "entries": {key: entries[key] for key in sorted(entries)},
+        }
+        encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+        document = json.dumps(
+            {"payload": payload, "checksum": _crc32(encoded)},
+            sort_keys=True,
+            indent=1,
+        ).encode("utf-8")
+        self._io.write_atomic(
+            self.directory / "quarantine" / QUARANTINE_INDEX_NAME, document
+        )
+
+    def _update_quarantine_index(
+        self, moved: List[Tuple[str, QuarantineEntry]]
+    ) -> None:
+        """Fold this open's moves into the index; prune gone files."""
+        quarantine_dir = self.directory / "quarantine"
+        entries = self._load_quarantine_index()
+        pruned = {
+            key: value
+            for key, value in entries.items()
+            if (quarantine_dir / key).exists()
+        }
+        changed = len(pruned) != len(entries)
+        for target_name, entry in moved:
+            pruned[target_name] = {
+                "kind": entry.kind,
+                "detail": entry.detail,
+                "generation": self.last_recovery.generation,
+            }
+            changed = True
+        if changed:
+            self._write_quarantine_index(pruned)
+
+    def quarantine_entries(self) -> List[QuarantineEntry]:
+        """What sits in ``quarantine/`` right now, with typed labels.
+
+        ``path`` is the file's current name inside ``quarantine/``;
+        files that predate the index (or whose index was lost) are
+        listed with kind ``unknown`` rather than hidden.
+        """
+        quarantine_dir = self.directory / "quarantine"
+        if not quarantine_dir.is_dir():
+            return []
+        index = self._load_quarantine_index()
+        entries: List[QuarantineEntry] = []
+        for path in sorted(quarantine_dir.iterdir()):
+            if path.name == QUARANTINE_INDEX_NAME or path.is_dir():
+                continue
+            record = index.get(path.name)
+            if record is None:
+                entries.append(
+                    QuarantineEntry(
+                        path.name, "unknown", "predates the quarantine index"
+                    )
+                )
+            else:
+                entries.append(
+                    QuarantineEntry(
+                        path.name,
+                        str(record.get("kind", "unknown")),
+                        str(record.get("detail", "")),
+                        int(record.get("generation", 0)),
+                    )
+                )
+        return entries
+
+    def purge_quarantine(
+        self,
+        kinds: Optional[Any] = None,
+        before_generation: Optional[int] = None,
+    ) -> Tuple[int, int]:
+        """Reclaim quarantined debris; returns (files removed, bytes).
+
+        Typed retention: ``kinds`` restricts the purge to those entry
+        kinds (e.g. only ``orphan-segment`` debris from compaction,
+        keeping damaged-file evidence); ``before_generation`` keeps
+        anything quarantined at or after that store generation.  With
+        neither, everything goes.  Removals run through the injectable
+        ``unlink`` boundary like any other durable mutation.
+        """
+        self._assert_writable("purge_quarantine()")
+        wanted = set(kinds) if kinds is not None else None
+        quarantine_dir = self.directory / "quarantine"
+        index = self._load_quarantine_index()
+        removed = 0
+        freed = 0
+        for entry in self.quarantine_entries():
+            if wanted is not None and entry.kind not in wanted:
+                continue
+            if (
+                before_generation is not None
+                and entry.generation >= before_generation
+            ):
+                continue
+            path = quarantine_dir / entry.path
+            try:
+                size = path.stat().st_size
+            except OSError:
+                size = 0
+            self._io.unlink(path)
+            index.pop(entry.path, None)
+            removed += 1
+            freed += size
+        if removed:
+            self._write_quarantine_index(index)
+            self._io.sync_directory(quarantine_dir)
+        return removed, freed
+
 
 def _sidecar_kind(name: str) -> str:
     return name.split("-", 1)[0]
 
 
-def _quarantine(path: Path, quarantine_dir: Path) -> None:
+def _quarantine(path: Path, quarantine_dir: Path) -> Path:
     """Move a damaged/orphaned file aside (never delete evidence)."""
     target = quarantine_dir / path.name
     suffix = 0
@@ -742,6 +1407,7 @@ def _quarantine(path: Path, quarantine_dir: Path) -> None:
         suffix += 1
         target = quarantine_dir / f"{path.name}.{suffix}"
     os.replace(path, target)
+    return target
 
 
 def _parse_manifest(data: bytes) -> _Manifest:

@@ -99,6 +99,8 @@ def replay_with_checkpoints(
     directory: PathLike,
     every: int = 5_000,
     stop_after: Optional[int] = None,
+    spill: bool = False,
+    spill_compact_threshold: int = 16,
 ) -> Tuple[Optional[TraceResult], PipelineStats]:
     """Faulted replay of ``trace.nx_db`` with durable progress.
 
@@ -110,11 +112,18 @@ def replay_with_checkpoints(
     observations (checkpointing first) to simulate an interruption;
     the return is then ``(None, stats)``.  A completed replay returns
     the degraded :class:`TraceResult` and final pipeline stats.
+
+    With ``spill=True`` the store is spill-backed in ``directory``
+    itself: each checkpoint is a crash-safe manifest-generation commit,
+    and once ``spill_compact_threshold`` segments accumulate the
+    commit compacts them into one superseding generation.
     """
     pipeline = ResilientIngestPipeline(
         schedule=plan.schedule(seed),
-        checkpoint_dir=directory,
+        checkpoint_dir=None if spill else directory,
         checkpoint_every=every,
+        spill_dir=directory if spill else None,
+        spill_compact_threshold=spill_compact_threshold,
     )
     cursor = pipeline.resume()
     for index, observation in enumerate(trace.nx_db.iter_observations()):

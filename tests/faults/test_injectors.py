@@ -234,6 +234,39 @@ def test_fsync_loss_rolls_back_and_crashes():
     assert action.lose and action.crash_after
 
 
+def test_unlink_is_an_enumerable_boundary():
+    from repro.faults.injectors import STORAGE_OPS, StorageFaultInjector
+
+    assert "unlink" in STORAGE_OPS
+    probe = _storage(StorageFaultInjector, at=None)
+    probe.decide("unlink", "/a", 0)
+    assert probe.decisions == 1 and not probe.fired
+
+
+def test_torn_write_crashes_before_unlink():
+    from repro.faults.injectors import TornWriteInjector
+
+    injector = _storage(TornWriteInjector, at=0)
+    action = injector.decide("unlink", "/a", 0)
+    assert action.crash_before and not action.lose
+
+
+def test_bit_flip_crashes_after_unlink():
+    from repro.faults.injectors import BitFlipInjector
+
+    injector = _storage(BitFlipInjector, at=0)
+    action = injector.decide("unlink", "/a", 0)
+    assert action.crash_after and action.flip is None and not action.lose
+
+
+def test_fsync_loss_loses_the_unlink_then_crashes():
+    from repro.faults.injectors import FsyncLossInjector
+
+    injector = _storage(FsyncLossInjector, at=0)
+    action = injector.decide("unlink", "/a", 0)
+    assert action.lose and action.crash_after
+
+
 def test_storage_injector_rejects_bad_inputs():
     from repro.errors import InjectedCrashError
     from repro.faults.injectors import StorageFaultInjector, TornWriteInjector

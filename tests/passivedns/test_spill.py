@@ -7,15 +7,21 @@ Three layers:
   :class:`PassiveDnsDatabase` mode (every aggregate byte-identical to
   the in-memory path);
 - the deterministic **crash-at-every-write-boundary matrix**: a probe
-  run enumerates every durability boundary of a two-generation
-  workload, then the workload is re-run once per (boundary, injector)
-  pair — torn write, bit flip, lost fsync — and reopening the store
-  must either recover a fingerprint-consistent prior generation or
-  quarantine the damage with a precise report, never serve silently
-  wrong data;
-- a hypothesis property drawing random boundaries/injectors/seeds over
-  the same invariant, and pipeline checkpoint/resume surviving an
-  injected mid-ingest crash.
+  run enumerates every durability boundary of a workload that commits
+  two generations *and compacts them* (so every ``compact()`` boundary
+  — merged-segment write, superseding manifest, CURRENT swap,
+  retirement unlinks and dirsyncs — is in the enumeration), then the
+  workload is re-run once per (boundary, injector) pair — torn write,
+  bit flip, lost fsync — and reopening the store must either recover a
+  digest-consistent prior generation or quarantine the damage with a
+  precise report, never serve silently wrong data or a hybrid of two
+  generations;
+- compaction, incremental-recovery (verified-at cache), read-only
+  open, quarantine-reclamation, and concurrent-reader suites;
+- hypothesis properties drawing random boundaries/injectors/seeds and
+  random interleavings of ingest/commit/compact over the same
+  invariant, and pipeline checkpoint/resume surviving an injected
+  mid-ingest crash.
 """
 
 import numpy as np
@@ -79,19 +85,21 @@ def _fill(db, data_seed=7, rounds=2, batches=2, rows=200):
 def _check_recovery(root, recorded, completed):
     """The matrix invariant: recovered-and-consistent, or quarantined.
 
-    Reopening must succeed, serve a store whose fingerprint matches
-    both the manifest's own record and (when the harness saw that
-    generation commit) the fingerprint recorded at commit time — and
-    any silent rollback of a completed workload must come with a
-    non-clean recovery report naming what was damaged.
+    Reopening must succeed and serve a store whose mergeable row
+    digest matches the digest its own manifest committed (so a
+    compaction crash can never leave a hybrid of two generations) and
+    — when the harness saw that generation commit — the fingerprint
+    recorded at commit time; any silent rollback of a completed
+    workload must come with a non-clean recovery report naming what
+    was damaged.
     """
     db = PassiveDnsDatabase(spill_dir=root)
     report = db.spill.last_recovery
     generation = db.spill.generation
     assert generation == report.generation
     if generation > 0:
-        expected = db.spill.meta.get("store_fingerprint")
-        assert expected is not None and db.fingerprint() == expected
+        expected = db.spill.meta.get("store_digest")
+        assert expected is not None and db.digest() == expected
         if generation in recorded:
             assert db.fingerprint() == recorded[generation]
     else:
@@ -262,10 +270,33 @@ class TestSpillBackedDatabase:
         assert final.fingerprint() == reopened.fingerprint()
 
 
+class _OpCountingProbe(StorageFaultInjector):
+    """A never-firing probe that also records each boundary's op."""
+
+    def __init__(self):
+        super().__init__(make_rng(0), InjectionLog(), at=None)
+        self.ops = []
+
+    def decide(self, op, path, size=0):
+        self.ops.append(op)
+        return super().decide(op, path, size)
+
+
 def _count_boundaries(tmp_path):
+    """Probe run: every durability boundary of the matrix workload.
+
+    With ``spill_compact_threshold=2`` the second commit triggers a
+    compaction, so the enumeration covers every ``compact()`` boundary
+    — merged-segment write, superseding manifest, CURRENT swap,
+    retirement ``unlink``/``dirsync`` — on top of the commit protocol.
+    """
     probe = StorageFaultInjector(make_rng(0), InjectionLog(), at=None)
     recorded = _fill(
-        PassiveDnsDatabase(spill_dir=tmp_path / "probe", spill_faults=probe)
+        PassiveDnsDatabase(
+            spill_dir=tmp_path / "probe",
+            spill_faults=probe,
+            spill_compact_threshold=2,
+        )
     )
     assert not probe.fired
     return probe.decisions, recorded
@@ -277,7 +308,11 @@ def _run_matrix_point(root, cls, at, seed=0):
     recorded, completed = {}, False
     try:
         recorded = _fill(
-            PassiveDnsDatabase(spill_dir=root, spill_faults=injector),
+            PassiveDnsDatabase(
+                spill_dir=root,
+                spill_faults=injector,
+                spill_compact_threshold=2,
+            ),
             data_seed=7,
         )
         completed = True
@@ -294,22 +329,462 @@ class TestCrashAtEveryBoundary:
 
     def test_matrix(self, tmp_path):
         boundaries, clean_recorded = _count_boundaries(tmp_path)
-        assert boundaries > 20  # the workload crosses many sync points
+        assert boundaries > 40  # commits + a full compaction cycle
         assert len(clean_recorded) == 2
+        # The clean workload must actually have compacted: generation 3
+        # is the superseding compaction commit, so the boundary range
+        # provably spans every compact() durability point.
+        assert max(clean_recorded) == 3
         quarantines = 0
         for cls in INJECTOR_CLASSES:
             for at in range(boundaries):
                 root = tmp_path / f"{cls.name}-{at}"
                 _, report = _run_matrix_point(root, cls, at)
                 quarantines += len(report.quarantined)
-        # The matrix must actually exercise the quarantine machinery,
-        # not pass vacuously because nothing ever got damaged.
+        probe = _OpCountingProbe()
+        _fill(
+            PassiveDnsDatabase(
+                spill_dir=tmp_path / "unlink-probe",
+                spill_faults=probe,
+                spill_compact_threshold=2,
+            )
+        )
+        # Retirement must be part of the enumerated matrix, and the
+        # matrix must actually exercise the quarantine machinery, not
+        # pass vacuously because nothing ever got damaged.
+        assert probe.ops.count("unlink") >= 2  # manifests + segments
         assert quarantines > 0
 
     def test_boundary_counts_are_deterministic(self, tmp_path):
         first, _ = _count_boundaries(tmp_path / "a")
         second, _ = _count_boundaries(tmp_path / "b")
         assert first == second
+
+
+def _three_generation_store(root):
+    """A store with three committed single-segment generations."""
+    store = SpillStore.open(root)
+    for round_index in range(3):
+        ids = np.arange(8, dtype=np.int64) + round_index * 100
+        store.append_segment(ids, ids * 3, ids % 5 + 1)
+        store.commit({"round": round_index})
+    return store
+
+
+class TestCompaction:
+    def test_compact_merges_and_supersedes(self, tmp_path):
+        store = _three_generation_store(tmp_path / "s")
+        rows_before = store.row_count()
+        old_names = [info.name for info in store.segments()]
+        generation = store.compact()
+        assert generation == 4
+        assert len(store.segments()) == 1
+        assert store.row_count() == rows_before
+        assert store.meta["compacted"]["inputs"] == old_names
+        # Superseded files are gone: one manifest, one segment remain.
+        manifests = sorted(
+            p.name for p in (tmp_path / "s").glob("manifest-*.json")
+        )
+        assert manifests == ["manifest-0000004.json"]
+        segments = sorted(
+            p.name for p in (tmp_path / "s" / "segments").glob("seg-*.npy")
+        )
+        assert segments == [store.segments()[0].name]
+
+    def test_compacted_store_reopens_clean_with_same_rows(self, tmp_path):
+        store = _three_generation_store(tmp_path / "s")
+        expected = [
+            np.concatenate(parts)
+            for parts in zip(
+                *(store.mmap_segment(info) for info in store.segments())
+            )
+        ]
+        store.compact()
+        again = SpillStore.open(tmp_path / "s")
+        assert again.last_recovery.clean()
+        assert again.generation == 4
+        got = again.mmap_segment(again.segments()[0])
+        for want, have in zip(expected, got):
+            assert np.array_equal(want, have)
+
+    def test_compact_below_min_segments_is_a_noop(self, tmp_path):
+        store = SpillStore.open(tmp_path / "s")
+        ids = np.arange(4, dtype=np.int64)
+        store.append_segment(ids, ids, ids + 1)
+        store.commit()
+        assert store.compact() is None
+        assert store.generation == 1
+
+    def test_compact_rejects_staged_segments(self, tmp_path):
+        store = _three_generation_store(tmp_path / "s")
+        ids = np.arange(4, dtype=np.int64)
+        store.append_segment(ids, ids, ids + 1)
+        with pytest.raises(ConfigError):
+            store.compact()
+
+    def test_compact_rejects_min_segments_below_two(self, tmp_path):
+        store = _three_generation_store(tmp_path / "s")
+        with pytest.raises(ConfigError):
+            store.compact(min_segments=1)
+
+    def test_merged_digest_is_sum_of_inputs(self, tmp_path):
+        store = SpillStore.open(tmp_path / "s")
+        ids = np.arange(5, dtype=np.int64)
+        store.append_segment(ids, ids, ids + 1, digest=17)
+        store.commit()
+        store.append_segment(ids, ids * 2, ids + 1, digest=(1 << 128) - 9)
+        store.commit()
+        store.compact()
+        merged = store.segments()[0]
+        assert merged.digest == (17 + (1 << 128) - 9) & ((1 << 128) - 1)
+
+    def test_merged_digest_none_when_any_input_lacks_one(self, tmp_path):
+        store = SpillStore.open(tmp_path / "s")
+        ids = np.arange(5, dtype=np.int64)
+        store.append_segment(ids, ids, ids + 1, digest=17)
+        store.commit()
+        store.append_segment(ids, ids * 2, ids + 1)  # pre-digest era
+        store.commit()
+        store.compact()
+        assert store.segments()[0].digest is None
+
+    def test_database_compaction_preserves_everything(self, tmp_path):
+        db = PassiveDnsDatabase(spill_dir=tmp_path / "s")
+        _fill(db, rounds=3)
+        fingerprint = db.fingerprint()
+        digest = db.digest()
+        histogram = db.tld_histogram()
+        generation = db.spill_compact()
+        assert generation is not None
+        assert db.fingerprint() == fingerprint
+        assert db.digest() == digest
+        assert db.tld_histogram() == histogram
+        reopened = PassiveDnsDatabase(spill_dir=tmp_path / "s")
+        assert reopened.spill.last_recovery.clean()
+        assert reopened.fingerprint() == fingerprint
+        assert reopened.digest() == digest
+
+    def test_database_compact_requires_committed_tail(self, tmp_path):
+        db = PassiveDnsDatabase(spill_dir=tmp_path / "s")
+        _fill(db, rounds=2)
+        db.add(DomainName("tail.example.com"), timestamp=1_500_000_000)
+        with pytest.raises(ConfigError):
+            db.spill_compact()
+
+    def test_auto_compaction_at_threshold(self, tmp_path):
+        db = PassiveDnsDatabase(
+            spill_dir=tmp_path / "s", spill_compact_threshold=2
+        )
+        recorded = _fill(db, rounds=2)
+        # Commit 1 -> generation 1; commit 2 -> generation 2, then the
+        # threshold trips and compaction supersedes it as generation 3.
+        assert sorted(recorded) == [1, 3]
+        assert len(db.spill.segments()) == 1
+        assert db.spill.generation == 3
+        reopened = PassiveDnsDatabase(spill_dir=tmp_path / "s")
+        assert reopened.fingerprint() == recorded[3]
+
+    def test_compact_threshold_validation(self, tmp_path):
+        with pytest.raises(ConfigError):
+            PassiveDnsDatabase(
+                spill_dir=tmp_path / "s", spill_compact_threshold=1
+            )
+        with pytest.raises(ConfigError):
+            PassiveDnsDatabase(
+                spill_dir=tmp_path / "s2", spill_compact_threshold=-3
+            )
+
+
+class TestIncrementalRecovery:
+    def test_warm_reopen_streams_zero_segments(self, tmp_path):
+        db = PassiveDnsDatabase(spill_dir=tmp_path / "s")
+        _fill(db, rounds=2)
+        reopened = PassiveDnsDatabase(spill_dir=tmp_path / "s")
+        report = reopened.spill.last_recovery
+        assert report.clean()
+        assert report.verified_cache == "loaded"
+        # The acceptance gate: an unchanged committed store reopens
+        # with ZERO segment CRC streams — every verification is a
+        # stat+CRC cache hit.
+        assert report.segments_crc_streamed == 0
+        assert report.cache_hits >= len(reopened.spill.segments())
+        assert reopened.fingerprint() == db.fingerprint()
+
+    def test_paranoid_reopen_streams_everything(self, tmp_path):
+        db = PassiveDnsDatabase(spill_dir=tmp_path / "s")
+        _fill(db, rounds=2)
+        reopened = PassiveDnsDatabase(
+            spill_dir=tmp_path / "s", spill_paranoid=True
+        )
+        report = reopened.spill.last_recovery
+        assert report.clean()
+        assert report.verified_cache == "paranoid"
+        assert report.cache_hits == 0
+        assert report.segments_crc_streamed == len(reopened.spill.segments())
+        assert reopened.fingerprint() == db.fingerprint()
+
+    def test_missing_cache_falls_back_to_full_scan(self, tmp_path):
+        db = PassiveDnsDatabase(spill_dir=tmp_path / "s")
+        _fill(db, rounds=2)
+        (tmp_path / "s" / "verified.json").unlink()
+        reopened = PassiveDnsDatabase(spill_dir=tmp_path / "s")
+        report = reopened.spill.last_recovery
+        assert report.clean()
+        assert report.verified_cache == "missing"
+        assert report.segments_crc_streamed == len(reopened.spill.segments())
+        # The full scan re-records what it proved: the next open is
+        # warm again.
+        warm = PassiveDnsDatabase(spill_dir=tmp_path / "s")
+        assert warm.spill.last_recovery.segments_crc_streamed == 0
+
+    def test_damaged_cache_is_quarantined_and_scan_is_full(self, tmp_path):
+        db = PassiveDnsDatabase(spill_dir=tmp_path / "s")
+        _fill(db, rounds=2)
+        cache_path = tmp_path / "s" / "verified.json"
+        cache_path.write_bytes(cache_path.read_bytes()[:-30] + b"garbage")
+        reopened = PassiveDnsDatabase(spill_dir=tmp_path / "s")
+        report = reopened.spill.last_recovery
+        assert report.verified_cache == "damaged"
+        assert report.segments_crc_streamed == len(reopened.spill.segments())
+        kinds = {entry.kind for entry in report.quarantined}
+        assert kinds == {"damaged-cache"}
+        assert reopened.fingerprint() == db.fingerprint()
+
+    def test_tampered_segment_is_caught(self, tmp_path):
+        db = PassiveDnsDatabase(spill_dir=tmp_path / "s")
+        recorded = _fill(db, rounds=2)
+        victim = sorted((tmp_path / "s" / "segments").glob("seg-*.npy"))[-1]
+        raw = bytearray(victim.read_bytes())
+        raw[-9] ^= 0x40
+        victim.write_bytes(bytes(raw))
+        reopened = PassiveDnsDatabase(spill_dir=tmp_path / "s")
+        report = reopened.spill.last_recovery
+        assert not report.clean()
+        assert report.rejected_generations
+        assert any(
+            entry.kind == "damaged-segment" for entry in report.quarantined
+        )
+        assert reopened.fingerprint() == recorded[min(recorded)]
+
+    def test_paranoid_catches_stat_forging_tamper(self, tmp_path):
+        """In-place tampering that forges mtime+size beats the cache's
+        trust model by construction — paranoid mode exists for it."""
+        import os as _os
+
+        db = PassiveDnsDatabase(spill_dir=tmp_path / "s")
+        _fill(db, rounds=2)
+        victim = sorted((tmp_path / "s" / "segments").glob("seg-*.npy"))[-1]
+        stat = victim.stat()
+        raw = bytearray(victim.read_bytes())
+        raw[-9] ^= 0x40  # same size, different bytes
+        victim.write_bytes(bytes(raw))
+        _os.utime(victim, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        cached = PassiveDnsDatabase(spill_dir=tmp_path / "s")
+        # The stat-based cache cannot see this (documented limitation)...
+        assert cached.spill.last_recovery.verified_cache == "loaded"
+        # ...but the full scan still does.
+        paranoid = PassiveDnsDatabase(
+            spill_dir=tmp_path / "s", spill_paranoid=True
+        )
+        assert not paranoid.spill.last_recovery.clean()
+
+
+class TestReadOnlyOpen:
+    def _listing(self, root):
+        return sorted(
+            (
+                path.relative_to(root).as_posix(),
+                path.stat().st_size,
+                path.stat().st_mtime_ns,
+            )
+            for path in root.rglob("*")
+            if path.is_file()
+        )
+
+    def test_read_only_creates_and_mutates_nothing(self, tmp_path):
+        db = PassiveDnsDatabase(spill_dir=tmp_path / "s")
+        _fill(db, rounds=2)
+        # Strip everything optional so creation would be observable.
+        (tmp_path / "s" / "verified.json").unlink()
+        (tmp_path / "s" / "quarantine").rmdir()
+        before = self._listing(tmp_path / "s")
+        reader = PassiveDnsDatabase(
+            spill_dir=tmp_path / "s", spill_read_only=True
+        )
+        assert reader.fingerprint() == db.fingerprint()
+        assert not (tmp_path / "s" / "quarantine").exists()
+        assert not (tmp_path / "s" / "verified.json").exists()
+        assert self._listing(tmp_path / "s") == before
+
+    def test_read_only_reports_damage_without_moving_it(self, tmp_path):
+        store = SpillStore.open(tmp_path / "s")
+        ids = np.arange(5, dtype=np.int64)
+        store.append_segment(ids, ids, ids + 1)
+        store.commit()
+        store.append_segment(ids, ids, ids + 2)  # staged, uncommitted
+        before = self._listing(tmp_path / "s")
+        reader = SpillStore.open(tmp_path / "s", read_only=True)
+        kinds = {e.kind for e in reader.last_recovery.quarantined}
+        assert kinds == {"orphan-segment"}
+        assert self._listing(tmp_path / "s") == before
+
+    def test_read_only_rejects_writes(self, tmp_path):
+        store = _three_generation_store(tmp_path / "s")
+        reader = SpillStore.open(tmp_path / "s", read_only=True)
+        ids = np.arange(3, dtype=np.int64)
+        with pytest.raises(ConfigError):
+            reader.append_segment(ids, ids, ids + 1)
+        with pytest.raises(ConfigError):
+            reader.write_sidecar("domains", b"x")
+        with pytest.raises(ConfigError):
+            reader.commit()
+        with pytest.raises(ConfigError):
+            reader.compact()
+        with pytest.raises(ConfigError):
+            reader.purge_quarantine()
+        assert store.generation == reader.generation
+
+    def test_read_only_database_rejects_spill_commit(self, tmp_path):
+        db = PassiveDnsDatabase(spill_dir=tmp_path / "s")
+        _fill(db, rounds=1)
+        reader = PassiveDnsDatabase(
+            spill_dir=tmp_path / "s", spill_read_only=True
+        )
+        with pytest.raises(ConfigError):
+            reader.spill_commit()
+        with pytest.raises(ConfigError):
+            reader.spill_compact()
+
+    def test_read_only_requires_existing_directory(self, tmp_path):
+        with pytest.raises(ConfigError):
+            SpillStore.open(tmp_path / "absent", read_only=True)
+
+    def test_read_only_rejects_fault_injection(self, tmp_path):
+        _three_generation_store(tmp_path / "s")
+        with pytest.raises(ConfigError):
+            SpillStore.open(
+                tmp_path / "s",
+                faults=_injector(TornWriteInjector, 0),
+                read_only=True,
+            )
+
+
+class TestQuarantineReclamation:
+    def _store_with_orphans(self, root, orphans=2):
+        store = SpillStore.open(root)
+        ids = np.arange(6, dtype=np.int64)
+        store.append_segment(ids, ids, ids + 1)
+        store.commit()
+        for _ in range(orphans):
+            store.append_segment(ids, ids, ids + 2)  # never committed
+        return SpillStore.open(root)  # quarantines the orphans
+
+    def test_entries_are_typed_and_indexed(self, tmp_path):
+        store = self._store_with_orphans(tmp_path / "s")
+        entries = store.quarantine_entries()
+        assert len(entries) == 2
+        assert {e.kind for e in entries} == {"orphan-segment"}
+        assert all(e.generation == store.generation for e in entries)
+        # The labels survive a further reopen (they live in the index).
+        again = SpillStore.open(tmp_path / "s")
+        assert {e.kind for e in again.quarantine_entries()} == {
+            "orphan-segment"
+        }
+
+    def test_purge_everything(self, tmp_path):
+        store = self._store_with_orphans(tmp_path / "s")
+        removed, freed = store.purge_quarantine()
+        assert removed == 2 and freed > 0
+        assert store.quarantine_entries() == []
+        assert SpillStore.open(tmp_path / "s").last_recovery.clean()
+
+    def test_purge_is_typed(self, tmp_path):
+        store = self._store_with_orphans(tmp_path / "s")
+        removed, _ = store.purge_quarantine(kinds={"damaged-segment"})
+        assert removed == 0
+        removed, _ = store.purge_quarantine(kinds={"orphan-segment"})
+        assert removed == 2
+
+    def test_purge_retention_by_generation(self, tmp_path):
+        store = self._store_with_orphans(tmp_path / "s")
+        generation = store.quarantine_entries()[0].generation
+        kept, _ = store.purge_quarantine(before_generation=generation)
+        assert kept == 0  # quarantined AT that generation -> retained
+        removed, _ = store.purge_quarantine(
+            before_generation=generation + 1
+        )
+        assert removed == 2
+
+    def test_damaged_index_lists_unknown_but_keeps_evidence(self, tmp_path):
+        store = self._store_with_orphans(tmp_path / "s")
+        index = tmp_path / "s" / "quarantine" / "index.json"
+        index.write_bytes(b"{not json")
+        entries = store.quarantine_entries()
+        assert len(entries) == 2
+        assert {e.kind for e in entries} == {"unknown"}
+        removed, _ = store.purge_quarantine()
+        assert removed == 2
+
+    def test_read_only_lists_but_cannot_purge(self, tmp_path):
+        self._store_with_orphans(tmp_path / "s")
+        reader = SpillStore.open(tmp_path / "s", read_only=True)
+        assert len(reader.quarantine_entries()) == 2
+        with pytest.raises(ConfigError):
+            reader.purge_quarantine()
+
+
+class TestConcurrentReaders:
+    """A read-only open mid-commit / mid-compact of another handle.
+
+    ``CURRENT`` is advisory and read-only opens move nothing, so a
+    reader racing a writer — modelled deterministically by killing the
+    writer at every boundary of the operation and opening the
+    directory it left behind — must always observe a complete,
+    digest-consistent committed generation and leave the writer's
+    staged files exactly where they were.
+    """
+
+    def _listing(self, root):
+        return sorted(
+            (path.relative_to(root).as_posix(), path.stat().st_size)
+            for path in root.rglob("*")
+            if path.is_file()
+        )
+
+    def _reader_invariant(self, root, recorded):
+        before = self._listing(root)
+        reader = PassiveDnsDatabase(
+            spill_dir=root, spill_read_only=True
+        )
+        store = reader.spill
+        assert store.read_only
+        if store.generation > 0:
+            expected = store.meta.get("store_digest")
+            assert expected is not None and reader.digest() == expected
+            if store.generation in recorded:
+                assert reader.fingerprint() == recorded[store.generation]
+        assert self._listing(root) == before
+
+    def test_reader_mid_commit_and_mid_compact_at_every_boundary(
+        self, tmp_path
+    ):
+        boundaries, _ = _count_boundaries(tmp_path)
+        for at in range(0, boundaries, 3):
+            for cls in (TornWriteInjector, FsyncLossInjector):
+                root = tmp_path / f"reader-{cls.name}-{at}"
+                injector = _injector(cls, at)
+                recorded = {}
+                try:
+                    recorded = _fill(
+                        PassiveDnsDatabase(
+                            spill_dir=root,
+                            spill_faults=injector,
+                            spill_compact_threshold=2,
+                        )
+                    )
+                except (InjectedCrashError, CorruptArchiveError):
+                    pass
+                self._reader_invariant(root, recorded)
 
 
 try:
@@ -328,7 +803,7 @@ if HAVE_HYPOTHESIS:
         @settings(deadline=None, max_examples=25)
         @given(
             cls=st.sampled_from(INJECTOR_CLASSES),
-            at=st.integers(min_value=0, max_value=120),
+            at=st.integers(min_value=0, max_value=220),
             seed=st.integers(min_value=0, max_value=2**31 - 1),
         )
         def test_recovery_never_serves_wrong_data(
@@ -336,6 +811,68 @@ if HAVE_HYPOTHESIS:
         ):
             root = tmp_path_factory.mktemp("spill-prop")
             _run_matrix_point(root / "store", cls, at, seed=seed)
+
+        @settings(deadline=None, max_examples=20)
+        @given(
+            ops=st.lists(
+                st.sampled_from(["ingest", "commit", "compact"]),
+                min_size=1,
+                max_size=8,
+            ),
+            cls=st.sampled_from(INJECTOR_CLASSES),
+            at=st.integers(min_value=0, max_value=400),
+            seed=st.integers(min_value=0, max_value=2**31 - 1),
+        )
+        def test_interleaved_ingest_commit_compact(
+            self, tmp_path_factory, ops, cls, at, seed
+        ):
+            """Random ingest/commit/compact programs, crashed anywhere.
+
+            Whatever prefix of the program the injected crash allows,
+            reopening must serve a committed generation whose digest
+            matches its manifest — never a hybrid, never silent loss.
+            """
+            root = tmp_path_factory.mktemp("spill-interleave") / "store"
+            injector = _injector(cls, at, seed)
+            rng = make_rng(derive_seed(seed, "interleave-data"))
+            recorded, completed, dirty = {}, False, False
+            try:
+                db = PassiveDnsDatabase(
+                    spill_dir=root, spill_faults=injector
+                )
+                for step, op in enumerate(ops):
+                    if op == "ingest":
+                        domains = [
+                            DomainName(f"i{step}-{i}.example.com")
+                            for i in range(10)
+                        ]
+                        ids = np.repeat(db.intern_many(domains), 4)
+                        times = np.sort(
+                            rng.integers(1_400_000_000, 1_600_000_000, len(ids))
+                        )
+                        counts = rng.integers(1, 5, len(ids))
+                        db.add_batch(ids, times, counts)
+                        dirty = True
+                        continue
+                    if op == "compact" and dirty:
+                        generation = db.spill_commit({"step": step})
+                        recorded[generation] = db.fingerprint()
+                        dirty = False
+                    if op == "commit" or dirty:
+                        generation = db.spill_commit({"step": step})
+                        recorded[generation] = db.fingerprint()
+                        dirty = False
+                    if op == "compact":
+                        generation = db.spill_compact()
+                        if generation is not None:
+                            recorded[generation] = db.fingerprint()
+                completed = True
+            except InjectedCrashError:
+                pass
+            except CorruptArchiveError:
+                pass
+            assert injector.at is None or injector.fired or completed
+            _check_recovery(root, recorded, completed)
 
 
 class TestPipelineCrashResume:
