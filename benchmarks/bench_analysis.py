@@ -131,17 +131,22 @@ def test_warm_run_is_incremental(timings):
         )
 
 
-def test_three_pass_engine_is_fully_cached(timings):
-    """The effect pass rides the same cache as the other two passes.
+def test_four_pass_engine_is_fully_cached(timings):
+    """The effect and concurrency passes ride the same cache.
 
     Structural contracts: the resolved self-host ruleset includes the
-    whole REP20x family, every cached summary carries the effect-facts
-    key (so warm runs can replay the effect pass without re-parsing),
-    and at least one real module contributed non-empty effect facts.
+    whole REP20x *and* REP30x families, every cached summary carries
+    the effect-facts key (lock, with, and resource facts live inside
+    the same per-function effect entries, so one key covers both
+    passes), and at least one real module contributed lock facts —
+    the self-hosted guards in the spill/database tier.
     """
     rule_ids = set(timings["rule_ids"])
     assert {f"REP20{n}" for n in range(1, 5)} <= rule_ids, (
         "self-host run is missing the effect-rule pass"
+    )
+    assert {f"REP30{n}" for n in range(1, 6)} <= rule_ids, (
+        "self-host run is missing the concurrency-rule pass"
     )
     cache = timings["cache"]
     summarized = [
@@ -152,10 +157,18 @@ def test_three_pass_engine_is_fully_cached(timings):
     assert summarized, "no module summaries were cached"
     assert all("effects" in summary for summary in summarized), (
         "cached summaries lack effect facts; warm runs would silently "
-        "skip the REP20x pass"
+        "skip the REP20x/REP30x passes"
     )
     assert any(summary["effects"] for summary in summarized), (
         "no cached summary carries any effect facts"
+    )
+    assert any(
+        fx.get("locks") or fx.get("withs")
+        for summary in summarized
+        for fx in summary["effects"].values()
+    ), (
+        "no cached summary carries lock facts; warm runs would "
+        "silently skip the REP30x pass"
     )
     # Zero warm misses with effect summaries in the cache is asserted
     # by test_warm_run_is_incremental over the same cache object.
@@ -163,7 +176,7 @@ def test_three_pass_engine_is_fully_cached(timings):
     warm_time, _ = timings["warm"]
     print()
     print(
-        f"three-pass warm/cold ratio with effect summaries cached: "
+        f"four-pass warm/cold ratio with effect summaries cached: "
         f"{warm_time / cold_time:.1%}"
     )
 

@@ -8,7 +8,7 @@ substrates independent of the study layer.  This package enforces
 those invariants statically, with zero third-party dependencies, using
 only :mod:`ast` and :mod:`tokenize`.
 
-The engine runs three passes.  The per-file pass walks each module's
+The engine runs four passes.  The per-file pass walks each module's
 AST once, dispatching nodes to the REP001–REP008 rules.  The
 whole-program pass assembles every module's extracted facts into a
 :class:`~repro.analysis.project.ProjectModel` — resolved names, call
@@ -19,8 +19,14 @@ The effect pass runs the REP201–REP204 rules over per-function effect
 summaries (filesystem writes, caught exception types, shared-state
 mutations, thread/pool spawns) collected in the same single AST walk,
 enforcing atomic-write discipline, crash-signal propagation, worker
-isolation, and cache-generation hygiene.  Per-file results (including
-effect summaries) are cached by content hash (warm runs re-analyze
+isolation, and cache-generation hygiene.  The concurrency pass runs
+the REP301–REP305 rules over the lock and resource facts from that
+same walk (locks held at each call and mutation, lock definitions,
+resource acquisitions, lazy initializations), catching inconsistent
+lock discipline on spawn-reachable shared state, lock-ordering cycles,
+leaked resource handles, blocking calls made under a lock, and
+unsynchronized lazy init.  Per-file results (including effect and
+concurrency facts) are cached by content hash (warm runs re-analyze
 only changed files plus their dependency cone) and the per-file pass
 can fan out over worker processes.
 
@@ -36,6 +42,9 @@ Pieces:
   REP101–REP104 rules;
 - :mod:`repro.analysis.effect_rules` — the effect-flow REP201–REP204
   rules (durability, crash-exception, shared-state, cache-generation);
+- :mod:`repro.analysis.concurrency_rules` — the concurrency-safety
+  REP301–REP305 rules (lock discipline, lock ordering, resource
+  lifecycle, blocking-under-lock, lazy-init races);
 - :mod:`repro.analysis.engine` — the two-pass engine, the process-pool
   fan-out, and ``# repro: noqa[RULE]`` suppression handling;
 - :mod:`repro.analysis.cache` — the content-hash incremental results

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -28,9 +29,11 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.findings import ANALYZER_VERSION, Finding
 
-#: Bumped to 2 when module summaries grew per-function effect facts;
-#: v1 caches carry summaries without them and must never be replayed.
-CACHE_FORMAT_VERSION = 2
+#: Bumped to 2 when module summaries grew per-function effect facts,
+#: to 3 when they grew the concurrency facts (with-held locks, lock
+#: definitions, resources, lazy inits); older caches carry summaries
+#: without them and must never be replayed.
+CACHE_FORMAT_VERSION = 3
 
 
 def content_hash(source: str) -> str:
@@ -60,6 +63,8 @@ def ruleset_signature(
         "exclude": sorted(config.exclude),
         "atomic_io_modules": sorted(config.atomic_io_modules),
         "resilient_roots": sorted(config.resilient_roots),
+        "lock_attributes": sorted(config.lock_attributes),
+        "concurrency_roots": sorted(config.concurrency_roots),
     }
     return hashlib.sha256(
         json.dumps(payload, sort_keys=True).encode("utf-8")
@@ -167,7 +172,16 @@ def load_cache(path: Path, signature: str) -> AnalysisCache:
 
 
 def save_cache(path: Path, cache: AnalysisCache) -> None:
-    """Persist the cache; IO failures are silently non-fatal."""
+    """Persist the cache; IO failures are silently non-fatal.
+
+    The write is rename-atomic (unique temp file + ``os.replace``) so
+    concurrent lint runs sharing one cache file can never tear each
+    other's payloads — a reader sees either the old complete document
+    or the new one.  It deliberately skips the fsync half of the full
+    durability dance: the cache is disposable state, and a power-loss
+    torn rename fails the signature/JSON check and degrades to a cold
+    run.
+    """
     payload = {
         "version": CACHE_FORMAT_VERSION,
         "tool": "repro.analysis",
@@ -187,12 +201,14 @@ def save_cache(path: Path, cache: AnalysisCache) -> None:
         },
         "program_valid": cache.program_valid,
     }
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
     try:
-        # Deliberately non-atomic: the cache is disposable state — a
-        # torn write fails the signature/JSON check and degrades to a
-        # cold run, so the fsync tax buys nothing here.
-        path.write_text(  # repro: noqa[REP201]
+        tmp.write_text(  # repro: noqa[REP201]  # rename-atomic, fsync waived
             json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8"
         )
+        os.replace(tmp, path)
     except OSError:
-        pass
+        try:
+            tmp.unlink()
+        except OSError:
+            pass

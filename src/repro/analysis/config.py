@@ -10,6 +10,8 @@ Defaults live here; projects override them in ``pyproject.toml``::
     report-paths = ["src/repro/core/reports.py"]
     atomic-io-modules = ["repro.passivedns.spill", "repro.passivedns.io"]
     resilient-roots = ["repro.resilience", "repro.passivedns.pipeline"]
+    lock-attributes = ["_lock"]
+    concurrency-roots = ["repro.passivedns.database"]
 
     [tool.repro.analysis.severity]
     REP008 = "warning"
@@ -47,6 +49,13 @@ DEFAULT_ATOMIC_IO_MODULES = ("repro.passivedns.spill", "repro.passivedns.io")
 #: REP202 audits except-clauses reachable from them for swallowed
 #: crash-signal exceptions.
 DEFAULT_RESILIENT_ROOTS = ("repro.resilience", "repro.passivedns.pipeline")
+#: Attribute names recognized as lock guards (``with self._lock:``)
+#: even when the module never shows the lock's construction.
+DEFAULT_LOCK_ATTRIBUTES = ("_lock",)
+#: Module prefixes whose public surface will be hit concurrently (the
+#: query tier's shared hot paths); the REP30x pass treats all of their
+#: functions as spawn-reachable entry points.
+DEFAULT_CONCURRENCY_ROOTS = ()
 
 
 @dataclass
@@ -70,6 +79,12 @@ class AnalysisConfig:
     )
     resilient_roots: List[str] = field(
         default_factory=lambda: list(DEFAULT_RESILIENT_ROOTS)
+    )
+    lock_attributes: List[str] = field(
+        default_factory=lambda: list(DEFAULT_LOCK_ATTRIBUTES)
+    )
+    concurrency_roots: List[str] = field(
+        default_factory=lambda: list(DEFAULT_CONCURRENCY_ROOTS)
     )
     severity_overrides: Dict[str, Severity] = field(default_factory=dict)
 
@@ -122,6 +137,10 @@ def load_config(root: Path) -> AnalysisConfig:
         config.atomic_io_modules = _str_list(table, "atomic-io-modules")
     if "resilient-roots" in table:
         config.resilient_roots = _str_list(table, "resilient-roots")
+    if "lock-attributes" in table:
+        config.lock_attributes = _str_list(table, "lock-attributes")
+    if "concurrency-roots" in table:
+        config.concurrency_roots = _str_list(table, "concurrency-roots")
     severity = table.get("severity", {})
     if not isinstance(severity, dict):
         raise ConfigError("[tool.repro.analysis.severity] must be a table")

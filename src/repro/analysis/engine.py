@@ -29,6 +29,7 @@ import ast
 import concurrent.futures
 import io
 import re
+import time
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -44,7 +45,13 @@ from repro.analysis.rules import Rule
 #: suppresses every rule on the line.
 ALL_RULES = "*"
 
-_NOQA_RE = re.compile(r"repro:\s*noqa(?:\[(?P<ids>[^\]]*)\])?", re.IGNORECASE)
+#: Optional whitespace before the bracket is accepted (``noqa [REP301]``)
+#: — without it the bracket is unparsed and a targeted suppression
+#: silently degrades to suppress-everything.  Text *after* the closing
+#: bracket (a trailing prose comment) never affects the id list.
+_NOQA_RE = re.compile(
+    r"repro:\s*noqa(?:\s*\[(?P<ids>[^\]]*)\])?", re.IGNORECASE
+)
 
 
 @dataclass
@@ -171,6 +178,65 @@ def reference_module_name(relpath: str) -> str:
 
 
 @dataclass
+class RunStats:
+    """Profile of one :meth:`Analyzer.run` for ``--statistics``.
+
+    Wall times come from ``time.perf_counter`` (a monotonic interval
+    clock, not wall-clock state) and describe only where lint time
+    went; they are never part of the finding set or the cache key.
+    """
+
+    files: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Seconds per engine pass: ``"per-file"`` and ``"whole-program"``.
+    pass_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Seconds per project rule actually recomputed this run (empty on
+    #: a fully-cached replay).
+    rule_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Findings per rule id, before baseline filtering.
+    rule_counts: Dict[str, int] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, object]:
+        """Serializable form for the JSON report header."""
+        return {
+            "files": self.files,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "pass_seconds": {
+                name: round(seconds, 6)
+                for name, seconds in sorted(self.pass_seconds.items())
+            },
+            "rule_seconds": {
+                rule: round(seconds, 6)
+                for rule, seconds in sorted(self.rule_seconds.items())
+            },
+            "rule_counts": dict(sorted(self.rule_counts.items())),
+        }
+
+    def render(self) -> str:
+        """Human-oriented multi-line profile for the text output."""
+        lines = [
+            "-- statistics --",
+            f"files analyzed: {self.files} "
+            f"(cache hits {self.cache_hits}, misses {self.cache_misses})",
+        ]
+        for name, seconds in sorted(self.pass_seconds.items()):
+            lines.append(f"pass {name}: {seconds * 1000.0:.1f} ms")
+        for rule, seconds in sorted(self.rule_seconds.items()):
+            lines.append(f"rule {rule}: {seconds * 1000.0:.1f} ms")
+        counted = {r: c for r, c in sorted(self.rule_counts.items()) if c}
+        if counted:
+            lines.append(
+                "findings by rule: "
+                + ", ".join(f"{r}={c}" for r, c in counted.items())
+            )
+        else:
+            lines.append("findings by rule: none")
+        return "\n".join(lines)
+
+
+@dataclass
 class _FileResult:
     """Per-file outcome: lint findings plus whole-program facts."""
 
@@ -221,6 +287,8 @@ class Analyzer:
         for rule in self.file_rules:
             for node_type in rule.node_types:
                 self._dispatch.setdefault(node_type, []).append(rule)
+        #: Profile of the most recent :meth:`run` (``--statistics``).
+        self.last_stats = RunStats()
 
     def run(
         self,
@@ -241,6 +309,8 @@ class Analyzer:
         whose content hash is unchanged and limits the whole-program
         recomputation to the dirty modules' dependency cone.
         """
+        self.last_stats = stats = RunStats()
+        per_file_started = time.perf_counter()
         lint_files = list(self._iter_files(root, paths, honor_excludes))
         reference_files = self._iter_reference_files(root, lint_files)
         want_summary = bool(self.project_rules)
@@ -297,15 +367,29 @@ class Analyzer:
                     str(module) if module else module_name_for(Path(relpath))
                 )
 
+        stats.pass_seconds["per-file"] = (
+            time.perf_counter() - per_file_started
+        )
         findings: List[Finding] = []
         for result in results.values():
             findings.extend(result.findings)
         if self.project_rules:
+            program_started = time.perf_counter()
             findings.extend(
                 self._program_pass(results, dirty_modules, cache)
             )
+            stats.pass_seconds["whole-program"] = (
+                time.perf_counter() - program_started
+            )
         if cache is not None:
             cache.prune(sorted(results))
+            stats.cache_hits = cache.hits
+            stats.cache_misses = cache.misses
+        stats.files = len(results)
+        for finding in findings:
+            stats.rule_counts[finding.rule_id] = (
+                stats.rule_counts.get(finding.rule_id, 0) + 1
+            )
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
         return findings
 
@@ -414,11 +498,15 @@ class Analyzer:
             }
             for rule in self.project_rules:
                 scope = None if rule.global_scope else sorted(affected)
+                rule_started = time.perf_counter()
                 for finding in rule.check(model, self.config, modules=scope):
                     module = path_to_module.get(finding.path, finding.path)
                     if model.is_suppressed(module, finding.line, rule.rule_id):
                         continue
                     by_module.setdefault(module, []).append(finding)
+                self.last_stats.rule_seconds[rule.rule_id] = (
+                    time.perf_counter() - rule_started
+                )
         if cache is not None:
             cache.program_findings = {
                 module: list(findings)

@@ -16,7 +16,7 @@ from typing import Dict
 #: any change that can alter the finding set for unchanged source, it
 #: keys both the on-disk results cache and the JSON payload header so
 #: baselines can detect rule-set drift.
-ANALYZER_VERSION = "3.0.0"
+ANALYZER_VERSION = "4.0.0"
 
 
 class Severity(enum.Enum):

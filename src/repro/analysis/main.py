@@ -87,6 +87,11 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="ignore and do not write the incremental results cache",
     )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="print per-rule counts and per-pass wall time after the run",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -187,14 +192,23 @@ def _run_lint(args: argparse.Namespace) -> int:
         )
         reported = new + known
 
+    stats = analyzer.last_stats
     if args.format == "json":
-        print(report_mod.render_json(reported, rules=rule_ids))
+        print(
+            report_mod.render_json(
+                reported,
+                rules=rule_ids,
+                statistics=stats.to_json() if args.statistics else None,
+            )
+        )
     elif args.format == "sarif":
         from repro.analysis.sarif import render_sarif
 
         print(render_sarif(reported, rules=rule_ids))
     else:
         print(report_mod.render_text(reported))
+        if args.statistics:
+            print(stats.render())
     failing = [
         f
         for f in reported

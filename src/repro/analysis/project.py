@@ -8,8 +8,10 @@ facts that make such flows visible:
   resolves to), definitions, call sites, exports, references,
   dynamic-import sites, and per-function **effect summaries**
   (filesystem writes, fsync/replace, exception handlers, shared-state
-  mutations, process/thread spawns) — produced by **one** AST walk and
-  cheap enough to serialize into the results cache;
+  mutations, process/thread spawns, with-held lock contexts, lock
+  definitions, OS-resource acquisitions, lazy-init fills) — produced
+  by **one** AST walk and cheap enough to serialize into the results
+  cache;
 - a :class:`ProjectModel` over all summaries — resolved qualified
   names, the intra-project call graph, the module import graph, taint
   propagation (which functions transitively reach a given sink),
@@ -82,16 +84,22 @@ class CallSite:
     #: ``"param:<name>"`` when it names a parameter of the caller,
     #: ``"name:<id>"`` for any other bare name, ``"other"`` otherwise.
     arg0: str = "other"
+    #: Dotted ``with``-context expressions held when the call executes
+    #: (lock candidates for the blocking-call-under-lock rule).
+    guards: List[str] = field(default_factory=list)
 
     def to_json(self) -> Dict[str, object]:
         """Serializable form for the results cache."""
-        return {
+        data: Dict[str, object] = {
             "caller": self.caller,
             "callee_expr": self.callee_expr,
             "lineno": self.lineno,
             "col": self.col,
             "arg0": self.arg0,
         }
+        if self.guards:
+            data["guards"] = list(self.guards)
+        return data
 
     @classmethod
     def from_json(cls, data: Dict[str, object]) -> "CallSite":
@@ -198,12 +206,83 @@ class MutationSite:
     module globals at rule time); for attribute mutations it is the
     first attribute after ``self``/``cls``.  ``kind`` is ``"assign"``
     (rebinding, including augmented), ``"subscript"`` (item write), a
-    ``"call:<method>"`` mutator-method call, or ``"nonlocal"`` for a
-    captured-variable rebinding.
+    ``"call:<method>"`` mutator-method call, ``"nonlocal"`` for a
+    captured-variable rebinding, or ``"lazy"`` for a
+    ``if self._x is None: self._x = ...`` lazy initialization.
+    ``guards`` lists the dotted ``with``-context expressions held at
+    the mutation site (lock candidates, checked at rule time).
     """
 
     target: str
     kind: str
+    lineno: int
+    col: int
+    guards: List[str] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, object]:
+        """Serializable form for the results cache."""
+        data: Dict[str, object] = {
+            "target": self.target,
+            "kind": self.kind,
+            "lineno": self.lineno,
+            "col": self.col,
+        }
+        if self.guards:
+            data["guards"] = list(self.guards)
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "MutationSite":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(**data)  # type: ignore[arg-type]
+
+
+@dataclass
+class WithInfo:
+    """One ``with`` context entry on a dotted expression.
+
+    ``expr`` is the dotted context expression (``self._lock``,
+    ``_REGISTRY_LOCK``); ``held`` lists the dotted expressions of the
+    enclosing ``with`` contexts already entered at this point, in
+    acquisition order — the raw material for the lock-ordering graph.
+    Call-valued contexts (``with open(...)``) are resource facts, not
+    with facts, and are recorded as :class:`ResourceSite` instead.
+    """
+
+    expr: str
+    lineno: int
+    col: int
+    held: List[str] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, object]:
+        """Serializable form for the results cache."""
+        return {
+            "expr": self.expr,
+            "lineno": self.lineno,
+            "col": self.col,
+            "held": list(self.held),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "WithInfo":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(**data)  # type: ignore[arg-type]
+
+
+@dataclass
+class LockSite:
+    """One lock-object definition (``self._lock = threading.Lock()``).
+
+    ``scope`` is ``"attr"`` for instance/class attributes (``target``
+    is the first attribute after ``self``/``cls``) and ``"global"``
+    for module-level names.  ``factory`` is the dotted constructor
+    expression (``threading.Lock``, ``RLock``, ...), resolved against
+    the project model at rule time.
+    """
+
+    target: str
+    factory: str
+    scope: str
     lineno: int
     col: int
 
@@ -211,13 +290,51 @@ class MutationSite:
         """Serializable form for the results cache."""
         return {
             "target": self.target,
-            "kind": self.kind,
+            "factory": self.factory,
+            "scope": self.scope,
             "lineno": self.lineno,
             "col": self.col,
         }
 
     @classmethod
-    def from_json(cls, data: Dict[str, object]) -> "MutationSite":
+    def from_json(cls, data: Dict[str, object]) -> "LockSite":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(**data)  # type: ignore[arg-type]
+
+
+@dataclass
+class ResourceSite:
+    """One OS-resource acquisition (``open``/``mmap``/mmap'd ``np.load``).
+
+    ``name`` is the local the handle was bound to (empty when the
+    handle is used inline).  ``managed`` is True when the acquisition
+    already has a lifecycle owner: a ``with`` context, an immediate
+    ``return`` (the caller owns it), a direct argument position (the
+    callee owns it), or an instance-attribute binding (the object owns
+    it).  Unmanaged sites must be closed in a ``finally`` or they leak
+    on the first exception.
+    """
+
+    kind: str
+    callee: str
+    name: str
+    managed: bool
+    lineno: int
+    col: int
+
+    def to_json(self) -> Dict[str, object]:
+        """Serializable form for the results cache."""
+        return {
+            "kind": self.kind,
+            "callee": self.callee,
+            "name": self.name,
+            "managed": self.managed,
+            "lineno": self.lineno,
+            "col": self.col,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "ResourceSite":
         """Rebuild from :meth:`to_json` output."""
         return cls(**data)  # type: ignore[arg-type]
 
@@ -260,6 +377,13 @@ class FunctionEffects:
     ``os.fsync`` and ``os.replace``/``os.rename`` — together they mark
     the sanctioned atomic-write dance, exempting the function's raw
     writes from REP201.
+
+    The concurrency pass adds: ``withs`` (dotted ``with`` contexts and
+    what was held when each was entered), ``locks`` (lock-object
+    definitions), ``resources`` (OS-handle acquisitions),
+    ``lazy_inits`` (``if self._x is None: self._x = ...`` fills), and
+    ``closed``/``finally_closed`` (locals explicitly ``.close()``d,
+    the latter from inside a ``finally`` block or via ``closing()``).
     """
 
     writes: List[WriteSite] = field(default_factory=list)
@@ -269,6 +393,12 @@ class FunctionEffects:
     spawns: List[SpawnSite] = field(default_factory=list)
     fsyncs: bool = False
     replaces: bool = False
+    withs: List[WithInfo] = field(default_factory=list)
+    locks: List[LockSite] = field(default_factory=list)
+    resources: List[ResourceSite] = field(default_factory=list)
+    lazy_inits: List[MutationSite] = field(default_factory=list)
+    closed: List[str] = field(default_factory=list)
+    finally_closed: List[str] = field(default_factory=list)
 
     def is_empty(self) -> bool:
         """Whether nothing was recorded (entry can be omitted)."""
@@ -280,6 +410,12 @@ class FunctionEffects:
             or self.spawns
             or self.fsyncs
             or self.replaces
+            or self.withs
+            or self.locks
+            or self.resources
+            or self.lazy_inits
+            or self.closed
+            or self.finally_closed
         )
 
     def to_json(self) -> Dict[str, object]:
@@ -292,6 +428,12 @@ class FunctionEffects:
             "spawns": [s.to_json() for s in self.spawns],
             "fsyncs": self.fsyncs,
             "replaces": self.replaces,
+            "withs": [w.to_json() for w in self.withs],
+            "locks": [k.to_json() for k in self.locks],
+            "resources": [r.to_json() for r in self.resources],
+            "lazy_inits": [m.to_json() for m in self.lazy_inits],
+            "closed": list(self.closed),
+            "finally_closed": list(self.finally_closed),
         }
 
     @classmethod
@@ -311,6 +453,18 @@ class FunctionEffects:
             spawns=[SpawnSite.from_json(s) for s in data.get("spawns", [])],  # type: ignore[union-attr]
             fsyncs=bool(data.get("fsyncs", False)),
             replaces=bool(data.get("replaces", False)),
+            withs=[WithInfo.from_json(w) for w in data.get("withs", [])],  # type: ignore[union-attr]
+            locks=[LockSite.from_json(k) for k in data.get("locks", [])],  # type: ignore[union-attr]
+            resources=[
+                ResourceSite.from_json(r)
+                for r in data.get("resources", [])  # type: ignore[union-attr]
+            ],
+            lazy_inits=[
+                MutationSite.from_json(m)
+                for m in data.get("lazy_inits", [])  # type: ignore[union-attr]
+            ],
+            closed=list(data.get("closed", [])),  # type: ignore[arg-type]
+            finally_closed=list(data.get("finally_closed", [])),  # type: ignore[arg-type]
         )
 
 
@@ -440,6 +594,16 @@ _POOL_DISPATCH_ANY = frozenset({"submit", "apply_async", "starmap"})
 #: Executor methods so generic (``.map``) that the receiver name must
 #: look like a pool/executor before the call counts as a spawn.
 _POOL_DISPATCH_GUARDED = frozenset({"map", "imap", "imap_unordered"})
+#: Constructor tails that create a lock object; assignments of such
+#: calls to attributes or module globals become :class:`LockSite`s.
+_LOCK_FACTORY_TAILS = frozenset({
+    "Lock", "RLock", "Semaphore", "BoundedSemaphore", "Condition",
+})
+#: Exact callees that acquire an OS resource handle.
+_RESOURCE_OPENERS = frozenset({
+    "open", "io.open", "gzip.open", "bz2.open", "lzma.open",
+    "tarfile.open", "mmap.mmap",
+})
 
 
 def _is_type_checking_test(test: ast.AST) -> bool:
@@ -467,6 +631,15 @@ class _Summarizer(ast.NodeVisitor):
         self._memio: List[Set[str]] = [set()]
         self._global_decls: List[Set[str]] = [set()]
         self._nonlocal_decls: List[Set[str]] = [set()]
+        # Dotted `with`-context expressions currently entered, in
+        # acquisition order — a nested function body does not run under
+        # its definer's locks, so this is also a per-function stack.
+        self._held: List[List[str]] = [[]]
+        # Depth of enclosing `finally` blocks in the current function.
+        self._in_finally: List[int] = [0]
+        # Pre-marked lifecycle context for Call nodes about to be
+        # visited: id(call node) -> (bound local name, managed).
+        self._resource_ctx: Dict[int, Tuple[str, bool]] = {}
 
     # -- scope bookkeeping -------------------------------------------------
 
@@ -529,7 +702,11 @@ class _Summarizer(ast.NodeVisitor):
         self._memio.append(set())
         self._global_decls.append(set())
         self._nonlocal_decls.append(set())
+        self._held.append([])
+        self._in_finally.append(0)
         self.generic_visit(node)
+        self._in_finally.pop()
+        self._held.pop()
         self._nonlocal_decls.pop()
         self._global_decls.pop()
         self._memio.pop()
@@ -617,7 +794,61 @@ class _Summarizer(ast.NodeVisitor):
             if isinstance(node.test, (ast.Name, ast.Attribute)):
                 self._record_ref_expr(node.test)
             return
+        self._record_lazy_init(node)
         self.generic_visit(node)
+
+    @staticmethod
+    def _self_attr(node: ast.AST) -> Optional[str]:
+        """The attribute name of a plain ``self.<x>``/``cls.<x>`` expr."""
+        dotted = _dotted_expr(node)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        if parts[0] in ("self", "cls") and len(parts) == 2:
+            return parts[1]
+        return None
+
+    def _record_lazy_init(self, node: ast.If) -> None:
+        """Detect ``if self._x is None: self._x = ...`` fill patterns.
+
+        The check-then-fill is atomic only under a lock; recorded with
+        the held guards so the rule can tell synchronized fills apart.
+        """
+        if self._func_depth == 0:
+            return
+        test = node.test
+        attr: Optional[str] = None
+        if (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Is)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+        ):
+            attr = self._self_attr(test.left)
+        elif isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            attr = self._self_attr(test.operand)
+        if attr is None:
+            return
+        for stmt in node.body:
+            for child in ast.walk(stmt):
+                if isinstance(child, ast.Assign):
+                    targets: Sequence[ast.AST] = child.targets
+                elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [child.target]
+                else:
+                    continue
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and self._self_attr(target) == attr
+                    ):
+                        self._fx().lazy_inits.append(
+                            MutationSite(attr, "lazy", node.lineno,
+                                         node.col_offset + 1,
+                                         list(self._held[-1]))
+                        )
+                        return
 
     # -- calls and assignments --------------------------------------------
 
@@ -631,18 +862,27 @@ class _Summarizer(ast.NodeVisitor):
                     lineno=node.lineno,
                     col=node.col_offset + 1,
                     arg0=self._arg0_kind(node),
+                    guards=list(self._held[-1]),
                 )
             )
             self._record_write_effects(node, callee)
             self._record_spawn_effects(node, callee)
             self._record_mutator_call(node, callee)
+            self._record_resource(node, callee)
+            self._record_close(node, callee)
         elif isinstance(node.func, ast.Attribute):
             # Computed receivers — `(root / "x").write_text(...)`,
             # `tmp_path.with_suffix(".json").open("w")` — have no dotted
             # form, but the write effect is just as real.  Record it
             # under a placeholder receiver so REP201 still sees it.
             self._record_computed_write(node, node.func.attr)
+        # A handle passed straight into another call is owned by the
+        # callee (`closing(open(p))`, `stack.enter_context(open(p))`).
+        for child in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(child, ast.Call):
+                self._resource_ctx[id(child)] = ("", True)
         self.generic_visit(node)
+        self._resource_ctx.pop(id(node), None)
 
     def _record_computed_write(self, node: ast.Call, tail: str) -> None:
         if tail in ("write_text", "write_bytes"):
@@ -744,11 +984,84 @@ class _Summarizer(ast.NodeVisitor):
             return
         receiver = callee[: -(len(tail) + 1)]
         parts = receiver.split(".")
-        site_args = (f"call:{tail}", node.lineno, node.col_offset + 1)
+        site_args = (f"call:{tail}", node.lineno, node.col_offset + 1,
+                     list(self._held[-1]))
         if parts[0] in ("self", "cls") and len(parts) >= 2:
             self._fx().attr_mutations.append(MutationSite(parts[1], *site_args))
         elif len(parts) == 1 and receiver not in self._params[-1]:
             self._fx().name_mutations.append(MutationSite(receiver, *site_args))
+
+    def _record_resource(self, node: ast.Call, callee: str) -> None:
+        tail = callee.rsplit(".", 1)[-1]
+        kind: Optional[str] = None
+        if callee in _RESOURCE_OPENERS:
+            kind = "mmap" if callee == "mmap.mmap" else "open"
+        elif "." in callee and tail == "open":
+            # `path.open(...)` — only counted with a literal mode so
+            # arbitrary factory classmethods named `open` (which return
+            # owning objects, not raw handles) don't match.
+            if self._literal_mode(node, position=0) is not None:
+                kind = "open"
+        elif "." in callee and tail == "load":
+            for keyword in node.keywords:
+                if keyword.arg == "mmap_mode" and not (
+                    isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is None
+                ):
+                    kind = "np.load"
+                    break
+        if kind is None:
+            return
+        name, managed = self._resource_ctx.get(id(node), ("", False))
+        self._fx().resources.append(
+            ResourceSite(kind, callee, name, managed,
+                         node.lineno, node.col_offset + 1)
+        )
+
+    def _record_close(self, node: ast.Call, callee: str) -> None:
+        tail = callee.rsplit(".", 1)[-1]
+        if tail == "close" and "." in callee:
+            receiver = callee[: -(len(tail) + 1)]
+            if "." not in receiver:
+                self._fx().closed.append(receiver)
+                if self._in_finally[-1] > 0:
+                    self._fx().finally_closed.append(receiver)
+        elif tail == "closing":
+            arg0 = node.args[0] if node.args else None
+            if isinstance(arg0, ast.Name):
+                # `with closing(x):` guarantees the close on every path.
+                self._fx().closed.append(arg0.id)
+                self._fx().finally_closed.append(arg0.id)
+
+    def _record_lock_def(
+        self, targets: Sequence[ast.AST], value: ast.AST
+    ) -> None:
+        if not isinstance(value, ast.Call):
+            return
+        callee = _dotted_expr(value.func)
+        if callee is None or callee.rsplit(".", 1)[-1] not in _LOCK_FACTORY_TAILS:
+            return
+        site = (callee, value.lineno, value.col_offset + 1)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if self._func_depth == 0 and self._class_depth == 0:
+                    self._fx().locks.append(
+                        LockSite(target.id, site[0], "global", *site[1:])
+                    )
+                elif self._class_depth > 0 and self._func_depth == 0:
+                    # Class-level `_lock = Lock()` shared by instances.
+                    self._fx().locks.append(
+                        LockSite(target.id, site[0], "attr", *site[1:])
+                    )
+            elif isinstance(target, ast.Attribute):
+                dotted = _dotted_expr(target)
+                if dotted is None:
+                    continue
+                parts = dotted.split(".")
+                if parts[0] in ("self", "cls") and len(parts) == 2:
+                    self._fx().locks.append(
+                        LockSite(parts[1], site[0], "attr", *site[1:])
+                    )
 
     def _arg0_kind(self, node: ast.Call) -> str:
         arg: Optional[ast.AST] = node.args[0] if node.args else None
@@ -774,6 +1087,8 @@ class _Summarizer(ast.NodeVisitor):
             self._record_module_assign(node.targets, node.value, node)
             self._record_mutable_global(node.targets, node.value, node)
         self._track_memio(node.targets, node.value)
+        self._record_lock_def(node.targets, node.value)
+        self._mark_assigned_resource(node.targets, node.value)
         if self._func_depth > 0:
             for target in node.targets:
                 self._record_mutation_target(target, "assign", node)
@@ -785,8 +1100,38 @@ class _Summarizer(ast.NodeVisitor):
             self._record_mutable_global([node.target], node.value, node)
         if node.value is not None:
             self._track_memio([node.target], node.value)
+            self._record_lock_def([node.target], node.value)
+            self._mark_assigned_resource([node.target], node.value)
         if self._func_depth > 0 and node.value is not None:
             self._record_mutation_target(node.target, "assign", node)
+        self.generic_visit(node)
+
+    def _mark_assigned_resource(
+        self, targets: Sequence[ast.AST], value: ast.AST
+    ) -> None:
+        """Pre-mark a Call value with its binding before visiting it.
+
+        ``f = open(p)`` binds an unmanaged local the close-tracker can
+        match; ``self._fh = open(p)`` hands ownership to the object
+        (cross-method lifecycle, out of scope for REP303).
+        """
+        if not isinstance(value, ast.Call) or len(targets) != 1:
+            return
+        target = targets[0]
+        if isinstance(target, ast.Name):
+            self._resource_ctx[id(value)] = (target.id, False)
+        elif isinstance(target, ast.Attribute):
+            self._resource_ctx[id(value)] = ("", True)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if isinstance(node.value, ast.Call):
+            # A returned handle is owned by the caller.
+            self._resource_ctx[id(node.value)] = ("", True)
+        elif isinstance(node.value, ast.Name):
+            # Returning a bound handle transfers ownership too.
+            for site in self._fx().resources:
+                if site.name == node.value.id:
+                    site.managed = True
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
@@ -801,10 +1146,60 @@ class _Summarizer(ast.NodeVisitor):
         self._nonlocal_decls[-1].update(node.names)
 
     def visit_With(self, node: ast.With) -> None:
+        self._handle_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._handle_with(node)
+
+    def _handle_with(self, node: ast.AST) -> None:
+        """Record with-contexts, tracking held locks around the body.
+
+        Dotted contexts (``with self._lock:``) become :class:`WithInfo`
+        facts and are pushed onto the held stack for the body; call
+        contexts (``with open(p) as f:``) are managed resources.
+        """
+        pushed = 0
         for item in node.items:
             if item.optional_vars is not None:
                 self._track_memio([item.optional_vars], item.context_expr)
-        self.generic_visit(node)
+            ctx = item.context_expr
+            if isinstance(ctx, ast.Call):
+                self._resource_ctx[id(ctx)] = ("", True)
+            else:
+                dotted = _dotted_expr(ctx)
+                if dotted is not None:
+                    self._fx().withs.append(
+                        WithInfo(dotted, ctx.lineno, ctx.col_offset + 1,
+                                 held=list(self._held[-1]))
+                    )
+                    self._held[-1].append(dotted)
+                    pushed += 1
+            self.visit(ctx)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        for stmt in node.body:
+            self.visit(stmt)
+        if pushed:
+            del self._held[-1][-pushed:]
+
+    def visit_Try(self, node: ast.Try) -> None:
+        self._handle_try(node)
+
+    def visit_TryStar(self, node: ast.AST) -> None:
+        self._handle_try(node)
+
+    def _handle_try(self, node: ast.AST) -> None:
+        """Visit a try statement, flagging the ``finally`` region."""
+        for stmt in node.body:
+            self.visit(stmt)
+        for handler in node.handlers:
+            self.visit(handler)
+        for stmt in node.orelse:
+            self.visit(stmt)
+        self._in_finally[-1] += 1
+        for stmt in node.finalbody:
+            self.visit(stmt)
+        self._in_finally[-1] -= 1
 
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
         types: List[str] = []
@@ -874,14 +1269,15 @@ class _Summarizer(ast.NodeVisitor):
                 self._record_mutation_target(elt, kind, node)
             return
         lineno, col = node.lineno, node.col_offset + 1
+        guards = list(self._held[-1])
         if isinstance(target, ast.Name):
             if target.id in self._global_decls[-1]:
                 self._fx().name_mutations.append(
-                    MutationSite(target.id, kind, lineno, col)
+                    MutationSite(target.id, kind, lineno, col, guards)
                 )
             elif target.id in self._nonlocal_decls[-1]:
                 self._fx().name_mutations.append(
-                    MutationSite(target.id, "nonlocal", lineno, col)
+                    MutationSite(target.id, "nonlocal", lineno, col, guards)
                 )
             return
         if isinstance(target, ast.Subscript):
@@ -891,11 +1287,11 @@ class _Summarizer(ast.NodeVisitor):
             parts = base.split(".")
             if parts[0] in ("self", "cls") and len(parts) >= 2:
                 self._fx().attr_mutations.append(
-                    MutationSite(parts[1], "subscript", lineno, col)
+                    MutationSite(parts[1], "subscript", lineno, col, guards)
                 )
             elif len(parts) == 1 and base not in self._params[-1]:
                 self._fx().name_mutations.append(
-                    MutationSite(base, "subscript", lineno, col)
+                    MutationSite(base, "subscript", lineno, col, guards)
                 )
             return
         if isinstance(target, ast.Attribute):
@@ -905,7 +1301,7 @@ class _Summarizer(ast.NodeVisitor):
             parts = dotted.split(".")
             if parts[0] in ("self", "cls") and len(parts) >= 2:
                 self._fx().attr_mutations.append(
-                    MutationSite(parts[1], kind, lineno, col)
+                    MutationSite(parts[1], kind, lineno, col, guards)
                 )
 
     def _record_module_assign(

@@ -4,14 +4,17 @@ The JSON schema is versioned and key-stable so CI consumers can parse
 it without tracking analyzer internals::
 
     {
-      "version": 3,
+      "version": 4,
       "tool": "repro.analysis",
-      "analyzer_version": "3.0.0",
+      "analyzer_version": "4.0.0",
       "rules": ["REP001", ...],
       "rule_info": [{"id", "severity", "kind", "description"}, ...],
       "findings": [{"rule", "severity", "path", "line", "col",
                     "message", "baselined"}, ...],
-      "summary": {"total", "new", "baselined", "errors", "warnings"}
+      "summary": {"total", "new", "baselined", "errors", "warnings"},
+      "statistics": {"files", "cache_hits", "cache_misses",
+                     "pass_seconds": {...}, "rule_seconds": {...},
+                     "rule_counts": {...}}          # --statistics only
     }
 
 Schema v2 added the ``analyzer_version`` and ``rules`` header keys so
@@ -20,6 +23,8 @@ set produced it (v1 carried only the findings and summary).  Schema
 v3 adds ``rule_info`` — per-rule metadata (default severity, per-file
 vs whole-program kind, one-line description) — so downstream renderers
 such as the SARIF converter need no access to the rule registry.
+Schema v4 adds the optional ``statistics`` header (per-rule finding
+counts and per-pass wall time, present only under ``--statistics``).
 """
 
 from __future__ import annotations
@@ -29,7 +34,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.findings import ANALYZER_VERSION, Finding, Severity
 
-JSON_SCHEMA_VERSION = 3
+JSON_SCHEMA_VERSION = 4
 
 
 def summarize(findings: Sequence[Finding]) -> dict:
@@ -86,25 +91,31 @@ def render_text(findings: Sequence[Finding]) -> str:
 
 
 def render_json(
-    findings: Sequence[Finding], rules: Optional[Sequence[str]] = None
+    findings: Sequence[Finding],
+    rules: Optional[Sequence[str]] = None,
+    statistics: Optional[Dict[str, object]] = None,
 ) -> str:
     """Machine-oriented stable-schema JSON document.
 
     ``rules`` is the resolved rule-id set that ran (after --select /
     --disable / config filtering); it lands in the header so an
-    artifact is self-describing.
+    artifact is self-describing.  ``statistics`` (from ``--statistics``)
+    adds the run-profile header key; omitted entirely when ``None`` so
+    default artifacts stay byte-comparable across runs.
     """
     ordered = sorted(
         findings, key=lambda f: (f.path, f.line, f.col, f.rule_id)
     )
     resolved = sorted(rules) if rules is not None else []
-    payload = {
+    payload: Dict[str, object] = {
         "version": JSON_SCHEMA_VERSION,
         "tool": "repro.analysis",
         "analyzer_version": ANALYZER_VERSION,
         "rules": resolved,
         "rule_info": rule_info(resolved),
-        "findings": [finding.to_json() for finding in ordered],
-        "summary": summarize(findings),
     }
+    if statistics is not None:
+        payload["statistics"] = statistics
+    payload["findings"] = [finding.to_json() for finding in ordered]
+    payload["summary"] = summarize(findings)
     return json.dumps(payload, indent=2, sort_keys=False)

@@ -148,6 +148,7 @@ def _ensure_builtin_loaded() -> None:
     import repro.analysis.builtin  # noqa: F401  (registers on import)
     import repro.analysis.program_rules  # noqa: F401  (REP101-REP104)
     import repro.analysis.effect_rules  # noqa: F401  (REP201-REP204)
+    import repro.analysis.concurrency_rules  # noqa: F401  (REP301-REP305)
 
 
 #: Section headers every rule docstring must carry for ``--explain``.

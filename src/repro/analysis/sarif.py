@@ -28,22 +28,31 @@ SARIF_SCHEMA = (
 
 
 def _rule_descriptors(rules: Sequence[str]) -> List[Dict[str, object]]:
-    from repro.analysis.rules import iter_rules
+    from repro.analysis.rules import explain_sections, iter_rules
 
     wanted = set(rules)
     descriptors = []
     for rule_cls in iter_rules():
         if rule_cls.rule_id not in wanted:
             continue
-        descriptors.append(
-            {
-                "id": rule_cls.rule_id,
-                "shortDescription": {"text": rule_cls.description},
-                "defaultConfiguration": {
-                    "level": rule_cls.severity.value,
-                },
-            }
-        )
+        descriptor: Dict[str, object] = {
+            "id": rule_cls.rule_id,
+            "shortDescription": {"text": rule_cls.description},
+            "defaultConfiguration": {
+                "level": rule_cls.severity.value,
+            },
+        }
+        # The mandatory Invariant/Why docstring sections become the
+        # fullDescription, so code-scanning UIs show the rationale
+        # inline without a docs round-trip.
+        sections = explain_sections(rule_cls)
+        descriptor["fullDescription"] = {
+            "text": (
+                f"Invariant: {sections['Invariant']}\n\n"
+                f"Why: {sections['Why']}"
+            )
+        }
+        descriptors.append(descriptor)
     return descriptors
 
 

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import hashlib
 import io as _stdio
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import (
@@ -194,6 +195,14 @@ class PassiveDnsDatabase:
         #: Spill segment name per chunk (None = in-memory chunk), kept
         #: parallel to ``_chunks`` so digests can be cached per segment.
         self._chunk_spill_names: List[Optional[str]] = []
+        #: Guards every generation-keyed derived cache below.  Mutation
+        #: (ingest, seal, commit, compact) is single-writer by contract,
+        #: but the caches are populated lazily on *read* paths, which
+        #: may race each other from reader threads on a quiescent
+        #: store; the lock makes each cache publish atomic.  Builds
+        #: stay outside the lock — only the store of the finished value
+        #: is guarded.
+        self._cache_lock = threading.Lock()
         #: Per-segment mergeable row digests (recomputable from rows).
         self._segment_digest_cache: Dict[str, int] = {}
         self._tail_domain = _IntColumn(self._CHUNK)
@@ -396,7 +405,8 @@ class PassiveDnsDatabase:
             # row *content* is unchanged, so caches stay valid.
             self._chunks.append(self._spill.mmap_segment(info))  # repro: noqa[REP204]
             self._chunk_spill_names.append(info.name)
-            self._segment_digest_cache[info.name] = digest
+            with self._cache_lock:
+                self._segment_digest_cache[info.name] = digest
         else:
             self._chunks.append(
                 (
@@ -474,7 +484,8 @@ class PassiveDnsDatabase:
             # here would wrongly invalidate every aggregate cache.
             self._chunks = [columns]  # repro: noqa[REP204]
             self._chunk_spill_names = [None]
-        self._columns_cache = (self._generation, columns)
+        with self._cache_lock:
+            self._columns_cache = (self._generation, columns)
         return columns
 
     def _cached(self, key: Any, build: Callable[[], Any]) -> Any:
@@ -483,7 +494,8 @@ class PassiveDnsDatabase:
         if entry is not None and entry[0] == self._generation:
             return entry[1]
         value = build()
-        self._agg_cache[key] = (self._generation, value)
+        with self._cache_lock:
+            self._agg_cache[key] = (self._generation, value)
         return value
 
     def _row_index(self) -> Tuple[np.ndarray, np.ndarray]:
@@ -513,7 +525,8 @@ class PassiveDnsDatabase:
         row_counts = np.bincount(ids, minlength=len(self._domains))
         starts = np.zeros(len(self._domains) + 1, dtype=np.int64)
         np.cumsum(row_counts, out=starts[1:])
-        self._index_cache = (self._generation, order, starts)
+        with self._cache_lock:
+            self._index_cache = (self._generation, order, starts)
         return order, starts
 
     def _rows_for(self, domain_id: int) -> np.ndarray:
@@ -655,7 +668,8 @@ class PassiveDnsDatabase:
                 value = self._segment_digest_cache.get(name)
                 if value is None:
                     value = self._rows_digest(ids, times, counts)
-                    self._segment_digest_cache[name] = value
+                    with self._cache_lock:
+                        self._segment_digest_cache[name] = value
             else:
                 value = self._rows_digest(ids, times, counts)
             total += value
@@ -714,7 +728,7 @@ class PassiveDnsDatabase:
             self._chunk_spill_names.append(info.name)
             self._n_rows += len(ids)
             if info.digest is not None and not paranoid:
-                self._segment_digest_cache[info.name] = info.digest
+                value = info.digest
             else:
                 value = self._rows_digest(ids, times, counts)
                 if info.digest is not None and value != info.digest:
@@ -722,6 +736,7 @@ class PassiveDnsDatabase:
                         store.directory / "segments" / info.name,
                         "segment row digest does not match manifest",
                     )
+            with self._cache_lock:
                 self._segment_digest_cache[info.name] = value
         if self._n_rows:
             self._generation = 1
@@ -817,7 +832,8 @@ class PassiveDnsDatabase:
                         "merged segment rows do not reproduce the "
                         "combined digest of its inputs",
                     )
-                self._segment_digest_cache[info.name] = value
+                with self._cache_lock:
+                    self._segment_digest_cache[info.name] = value
             chunks.append(part)
             names.append(info.name)
         # Content-preserving re-chunking of the same rows in the same
@@ -825,11 +841,12 @@ class PassiveDnsDatabase:
         self._chunks = chunks  # repro: noqa[REP204]
         self._chunk_spill_names = names
         live = {name for name in names if name is not None}
-        self._segment_digest_cache = {
-            key: value
-            for key, value in self._segment_digest_cache.items()
-            if key in live
-        }
+        with self._cache_lock:
+            self._segment_digest_cache = {
+                key: value
+                for key, value in self._segment_digest_cache.items()
+                if key in live
+            }
         return generation
 
     def copy_rows_into(self, target: "PassiveDnsDatabase") -> None:

@@ -60,6 +60,7 @@ import io
 import json
 import os
 import re
+import threading
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -566,6 +567,13 @@ class SpillStore:
         #: Segments staged since the last commit (already on disk,
         #: referenced by no manifest yet).
         self._pending: List[SegmentInfo] = []
+        #: Guards the published in-memory view of the store (committed
+        #: segment list, staged list, sidecar table, generation, meta)
+        #: so readers in other threads never observe a half-applied
+        #: commit.  Durable IO happens *before* the lock is taken —
+        #: only the in-memory publish of an already-durable state is
+        #: guarded, never an fsync or a rename.
+        self._lock = threading.Lock()
 
     # -- opening ------------------------------------------------------------
 
@@ -878,7 +886,9 @@ class SpillStore:
         """Memory-map one segment as its (ids, times, counts) triple."""
         path = self.directory / "segments" / info.name
         try:
-            stacked = np.load(path, mmap_mode="r")
+            # The returned row views pin the mmap open for as long as
+            # the caller holds them; closing here would invalidate them.
+            stacked = np.load(path, mmap_mode="r")  # repro: noqa[REP303]
         except (OSError, ValueError) as error:
             raise CorruptArchiveError(path, f"unreadable segment: {error}")
         if stacked.ndim != 2 or stacked.shape[0] != 3:
@@ -955,7 +965,8 @@ class SpillStore:
                 "post-write verification failed "
                 f"(expected {info.crc32:#010x}, file {written:#010x})",
             )
-        self._pending.append(info)
+        with self._lock:
+            self._pending.append(info)
         return info
 
     def write_sidecar(self, kind: str, data: bytes) -> SidecarInfo:
@@ -980,7 +991,8 @@ class SpillStore:
                 "post-write verification failed "
                 f"(expected {info.crc32:#010x}, file {written:#010x})",
             )
-        self._sidecars[kind] = info
+        with self._lock:
+            self._sidecars[kind] = info
         return info
 
     def _write_manifest(
@@ -1033,10 +1045,11 @@ class SpillStore:
             self.directory / "CURRENT", (name + "\n").encode()
         )
         self._journal({"op": "commit", "generation": generation})
-        self.generation = generation
-        self._segments = segments
-        self._pending = []
-        self.meta = dict(meta or {})
+        with self._lock:
+            self.generation = generation
+            self._segments = segments
+            self._pending = []
+            self.meta = dict(meta or {})
         self._refresh_verified_cache()
         return generation
 
@@ -1154,9 +1167,10 @@ class SpillStore:
             self.directory / "CURRENT", (manifest_name + "\n").encode()
         )
         self._journal({"op": "commit", "generation": generation})
-        self.generation = generation
-        self._segments = [merged]
-        self.meta = meta
+        with self._lock:
+            self.generation = generation
+            self._segments = [merged]
+            self.meta = meta
         retired = self._retire_superseded()
         self._journal(
             {"op": "retired", "generation": generation, "files": retired}
@@ -1438,6 +1452,23 @@ def _parse_manifest(data: bytes) -> _Manifest:
     )
 
 
+def _stored_shape(path: Path) -> Tuple[int, ...]:
+    """The array shape recorded in a ``.npy`` file's header.
+
+    Verification only needs the geometry, and the header carries it;
+    reading it directly avoids mapping the whole payload and leaves no
+    OS handle behind once the ``with`` block exits (a memmap opened
+    just to inspect ``.shape`` would linger until garbage collection).
+    """
+    with open(path, "rb") as handle:
+        version = np.lib.format.read_magic(handle)
+        if version == (1, 0):
+            shape, _, _ = np.lib.format.read_array_header_1_0(handle)
+        else:
+            shape, _, _ = np.lib.format.read_array_header_2_0(handle)
+    return shape
+
+
 def _verify_segment(path: Path, info: SegmentInfo) -> Optional[str]:
     """None when the segment file is intact, else the failure detail."""
     if not path.exists():
@@ -1446,11 +1477,11 @@ def _verify_segment(path: Path, info: SegmentInfo) -> Optional[str]:
     if crc != info.crc32:
         return f"checksum mismatch (manifest {info.crc32:#010x}, file {crc:#010x})"
     try:
-        stacked = np.load(path, mmap_mode="r")
+        shape = _stored_shape(path)
     except (OSError, ValueError) as error:
         return f"unreadable npy: {error}"
-    if stacked.ndim != 2 or stacked.shape[0] != 3 or stacked.shape[1] != info.rows:
-        return f"shape {stacked.shape} does not match manifest rows {info.rows}"
+    if len(shape) != 2 or shape[0] != 3 or shape[1] != info.rows:
+        return f"shape {shape} does not match manifest rows {info.rows}"
     return None
 
 

@@ -167,6 +167,34 @@ def test_corrupt_cache_degrades_to_cold_run(project, tmp_path):
     assert cache.files == {}
 
 
+def test_analyzer_version_bump_invalidates_cache(project, tmp_path, monkeypatch):
+    # A cache written by analyzer vN must be discarded wholesale by
+    # vN+1 — new fact schemas (e.g. the v4 concurrency facts) must
+    # never be replayed from summaries that lack them.
+    cache = cache_mod.AnalysisCache(signature=_signature())
+    _run(project, cache=cache)
+    cache_file = tmp_path / "cache.json"
+    cache_mod.save_cache(cache_file, cache)
+
+    monkeypatch.setattr(cache_mod, "ANALYZER_VERSION", "3.0.0")
+    old_signature = _signature()
+    assert old_signature != cache.signature
+    stale = cache_mod.load_cache(cache_file, old_signature)
+    assert stale.files == {} and not stale.program_valid
+
+
+def test_ruleset_signature_covers_concurrency_config():
+    base = cache_mod.ruleset_signature(AnalysisConfig(), ["REP301"])
+
+    with_locks = AnalysisConfig()
+    with_locks.lock_attributes = ["_lock", "_cache_lock"]
+    assert base != cache_mod.ruleset_signature(with_locks, ["REP301"])
+
+    with_roots = AnalysisConfig()
+    with_roots.concurrency_roots = ["repro.core"]
+    assert base != cache_mod.ruleset_signature(with_roots, ["REP301"])
+
+
 def test_ruleset_signature_covers_rules_and_severity():
     config = AnalysisConfig()
     base = cache_mod.ruleset_signature(config, ["REP001", "REP002"])
@@ -279,6 +307,70 @@ def test_parallel_warm_cache_matches(project):
     cold = _run(project, cache=cache, jobs=2)
     warm = _run(project, cache=cache, jobs=2)
     assert [f.to_json() for f in warm] == [f.to_json() for f in cold]
+
+
+def test_concurrent_lint_runs_never_tear_the_cache(project):
+    """Two `--jobs 4` lint runs sharing one cache file, in parallel.
+
+    The save is rename-atomic, so a reader polling the file while both
+    runs execute must only ever observe a complete, valid JSON payload
+    carrying the expected signature — never a half-written document.
+    """
+    import os
+    import subprocess
+    import sys
+    import time
+
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    command = [
+        sys.executable,
+        "-m",
+        "repro.analysis",
+        "--root",
+        str(project),
+        "--jobs",
+        "4",
+        "--no-baseline",
+    ]
+    cache_file = project / ".repro-analysis-cache.json"
+    runs = [
+        subprocess.Popen(
+            command,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        for _ in range(2)
+    ]
+    observed = 0
+    try:
+        while any(proc.poll() is None for proc in runs):
+            try:
+                data = json.loads(cache_file.read_text(encoding="utf-8"))
+            except OSError:
+                pass  # not written yet — fine
+            else:
+                # any readable state must be a complete document
+                assert data.get("signature") == _signature()
+                assert data.get("tool") == "repro.analysis"
+                observed += 1
+            time.sleep(0.01)
+    finally:
+        for proc in runs:
+            proc.wait(timeout=120)
+    # the project carries one deliberate REP101 violation: both runs
+    # must report it (exit 1), proving neither saw a torn cache
+    for proc in runs:
+        assert proc.returncode == 1, proc.stderr.read().decode()
+    final = cache_mod.load_cache(cache_file, _signature())
+    assert final.files and final.program_valid
+    # a warm in-process run over the survivor matches a cold one
+    warm = _run(project, cache=final)
+    cold = _run(project)
+    assert [f.to_json() for f in warm] == [f.to_json() for f in cold]
+    assert final.misses == 0
 
 
 def test_program_valid_distinguishes_empty_from_unran(tmp_path):

@@ -50,7 +50,7 @@ def test_lint_json_output_parses(tmp_path, capsys):
     )
     assert code == 1
     document = json.loads(capsys.readouterr().out)
-    assert document["version"] == 3
+    assert document["version"] == 4
     assert document["analyzer_version"]
     # the resolved rule set that actually ran is recorded in the header
     assert "REP002" in document["rules"]
@@ -167,6 +167,70 @@ def test_explicit_paths_do_not_touch_cache(tmp_path, capsys):
     capsys.readouterr()
     assert code == 0
     assert not (tmp_path / ".repro-analysis-cache.json").exists()
+
+
+def _statistics_root(tmp_path):
+    """A one-file project root with a single REP002 violation."""
+    src = tmp_path / "src" / "repro"
+    src.mkdir(parents=True)
+    (src / "mod.py").write_text("import random\n", encoding="utf-8")
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.repro.analysis]\npaths = ["src/repro"]\n'
+        "reference-paths = []\n",
+        encoding="utf-8",
+    )
+    return tmp_path
+
+
+def test_statistics_flag_prints_run_profile(tmp_path, capsys):
+    root = _statistics_root(tmp_path)
+    args = [
+        "lint", "--root", str(root), "--no-baseline", "--no-cache",
+        "--statistics",
+    ]
+    assert cli_main(args) == 1
+    out = capsys.readouterr().out
+    assert "-- statistics --" in out
+    assert "files analyzed: 1 (cache hits 0, misses 0)" in out
+    assert "pass per-file:" in out
+    assert "pass whole-program:" in out
+    assert "findings by rule: REP002=1" in out
+
+
+def test_statistics_flag_lands_in_json_header(tmp_path, capsys):
+    root = _statistics_root(tmp_path)
+    args = [
+        "lint", "--root", str(root), "--no-baseline", "--no-cache",
+        "--statistics", "--format", "json",
+    ]
+    assert cli_main(args) == 1
+    document = json.loads(capsys.readouterr().out)
+    stats = document["statistics"]
+    assert stats["files"] == 1
+    assert stats["rule_counts"] == {"REP002": 1}
+    assert "per-file" in stats["pass_seconds"]
+    assert "whole-program" in stats["pass_seconds"]
+    # without the flag the header key is absent entirely
+    assert cli_main(
+        [
+            "lint", "--root", str(root), "--no-baseline", "--no-cache",
+            "--format", "json",
+        ]
+    ) == 1
+    bare = json.loads(capsys.readouterr().out)
+    assert "statistics" not in bare
+
+
+def test_statistics_reports_warm_cache_hits(tmp_path, capsys):
+    root = _statistics_root(tmp_path)
+    args = [
+        "lint", "--root", str(root), "--no-baseline", "--statistics",
+    ]
+    assert cli_main(args) == 1
+    capsys.readouterr()
+    assert cli_main(args) == 1
+    out = capsys.readouterr().out
+    assert "files analyzed: 1 (cache hits 1, misses 0)" in out
 
 
 def test_jobs_run_matches_serial_output(tmp_path, capsys):

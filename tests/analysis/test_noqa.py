@@ -66,6 +66,50 @@ def test_rule_ids_are_case_insensitive(run_source):
     assert "REP002" not in rule_ids(findings)
 
 
+def test_trailing_prose_after_bracket_keeps_ids_targeted(run_source):
+    # A justification comment after the closing bracket must neither
+    # break the suppression nor widen it to other rules firing on the
+    # same line (REP006 and REP008 both anchor on the def line).
+    findings = run_source(
+        """
+        def f(x=[]):  # repro: noqa[REP006]  # shared sentinel default
+            return x
+        """
+    )
+    ids = rule_ids(findings)
+    assert "REP006" not in ids
+    assert "REP008" in ids
+
+
+def test_whitespace_before_bracket_still_parses_ids(run_source):
+    # `noqa [REP006]` must behave exactly like `noqa[REP006]` — before
+    # the fix the bracket went unparsed and the comment silently
+    # suppressed *every* rule on the line.
+    findings = run_source(
+        """
+        def f(x=[]):  # repro: noqa [REP006]
+            return x
+        """
+    )
+    ids = rule_ids(findings)
+    assert "REP006" not in ids
+    assert "REP008" in ids
+
+
+def test_empty_brackets_suppress_nothing(run_source):
+    findings = run_source(
+        "import random  # repro: noqa[]\n"
+    )
+    assert "REP002" in rule_ids(findings)
+
+
+def test_noqa_keyword_is_case_insensitive(run_source):
+    findings = run_source(
+        "import random  # REPRO: NOQA[REP002]\n"
+    )
+    assert "REP002" not in rule_ids(findings)
+
+
 def test_syntax_error_reported_as_meta_finding(run_source):
     findings = run_source("def broken(:\n")
     assert rule_ids(findings) == [META_RULE_ID]

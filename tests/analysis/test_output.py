@@ -24,12 +24,33 @@ def test_json_schema_top_level_keys(run_source):
         "findings", "summary",
     ]
     assert document["version"] == report_mod.JSON_SCHEMA_VERSION
-    assert document["version"] == 3
+    assert document["version"] == 4
     assert document["tool"] == "repro.analysis"
     assert document["analyzer_version"] == report_mod.ANALYZER_VERSION
     assert list(document["summary"]) == [
         "total", "new", "baselined", "errors", "warnings",
     ]
+
+
+def test_json_statistics_header_is_opt_in(run_source):
+    findings = _sample_findings(run_source)
+    bare = json.loads(report_mod.render_json(findings))
+    assert "statistics" not in bare
+
+    stats = {
+        "files": 1,
+        "cache_hits": 0,
+        "cache_misses": 1,
+        "pass_seconds": {"per-file": 0.01},
+        "rule_seconds": {},
+        "rule_counts": {"REP002": 1},
+    }
+    document = json.loads(report_mod.render_json(findings, statistics=stats))
+    assert document["statistics"] == stats
+    # the header lands before the findings so the document stays
+    # streaming-parseable in schema order
+    keys = list(document)
+    assert keys.index("statistics") < keys.index("findings")
 
 
 def test_json_rule_info_describes_resolved_rules(run_source):

@@ -33,6 +33,18 @@ def test_sarif_document_structure():
     assert driver["rules"][0]["defaultConfiguration"]["level"] == "error"
 
 
+def test_sarif_full_description_from_explain_sections():
+    # fullDescription carries the rule's Invariant and Why docstring
+    # sections so code-scanning UIs show the rationale inline.
+    document = json.loads(
+        sarif_mod.render_sarif([], rules=["REP002", "REP301"])
+    )
+    for descriptor in document["runs"][0]["tool"]["driver"]["rules"]:
+        text = descriptor["fullDescription"]["text"]
+        assert text.startswith("Invariant:")
+        assert "\n\nWhy:" in text
+
+
 def test_sarif_result_locations_and_levels():
     document = json.loads(
         sarif_mod.render_sarif([_finding()], rules=["REP002"])
