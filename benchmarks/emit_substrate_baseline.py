@@ -5,8 +5,10 @@ canonical seeded workload and writes a machine-readable summary:
 
 - a ``contracts`` section that is **deterministic** (store
   fingerprints of the canonical workloads, batch-vs-scalar equality,
-  serial-vs-sharded generation identity) — diffs here mean ingest or
-  generation *semantics* changed, and the committed copy at the repo
+  serial-vs-sharded generation identity, parallel-vs-serial aggregate
+  identity at jobs ∈ {1, 2, 4}, fast-lane-vs-record-path identity on
+  clean and degraded streams) — diffs here mean ingest, generation, or
+  aggregation *semantics* changed, and the committed copy at the repo
   root is the regression anchor;
 - a ``timings`` section that is informational (speedup ratios measured
   on whatever host ran the script) — CI uploads it as an artifact so
@@ -28,17 +30,32 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.clock import STUDY_START, date_to_epoch
+from repro.dns.message import RCode
 from repro.dns.name import DomainName
+from repro.faults import FaultPlan
 from repro.passivedns.database import PassiveDnsDatabase
+from repro.passivedns.pipeline import ResilientIngestPipeline
+from repro.passivedns.record import DnsObservation
 from repro.passivedns.spill import atomic_write_bytes
 from repro.rand import make_rng
 from repro.workloads.trace import NxdomainTraceGenerator, TraceConfig
 
-VERSION = 1
+VERSION = 2
 N_ROWS = 60_000
 N_DOMAINS = 600
 TRACE_CONFIG = TraceConfig(total_domains=1_500, squat_count=60)
 TRACE_JOBS = 4
+AGG_JOBS = 4
+PIPE_ROWS = 30_000
+#: The degraded fast-lane contract replays this plan at seed 7.
+DEGRADED_PLAN = FaultPlan(
+    drop_rate=0.05,
+    duplicate_rate=0.1,
+    reorder_rate=0.2,
+    reorder_depth=4,
+    store_failure_rate=0.1,
+)
 
 
 def _timed(fn, rounds=3):
@@ -80,11 +97,96 @@ def _batch_ingest(workload):
     return db
 
 
+def _aggregate_bundle(db):
+    """Every generation-keyed aggregate, as one comparable value."""
+    domains_series, queries_series = db.lifespan_decay(60)
+    return (
+        db.monthly_response_series(),
+        db.tld_histogram(),
+        domains_series.tobytes(),
+        queries_series.tobytes(),
+        db.digest(),
+        db.fingerprint(),
+    )
+
+
+def _parallel_aggregates(workload):
+    """Aggregate identity at jobs ∈ {1, 2, 4} plus serial/parallel
+    rebuild timings (cache cleared per round, columns stay primed)."""
+    domains, picks, times, counts = workload
+
+    def build(jobs):
+        db = PassiveDnsDatabase(aggregate_jobs=jobs)
+        ids = db.intern_many(domains)
+        db.add_batch(ids[picks], times, counts)
+        return db
+
+    stores = {jobs: build(jobs) for jobs in (1, 2, AGG_JOBS)}
+    bundles = {jobs: _aggregate_bundle(db) for jobs, db in stores.items()}
+    identical = bundles[2] == bundles[1] and bundles[AGG_JOBS] == bundles[1]
+
+    def rebuild(db):
+        db._agg_cache.clear()  # noqa: SLF001
+        return _aggregate_bundle(db)
+
+    serial_time, _ = _timed(lambda: rebuild(stores[1]))
+    parallel_time, _ = _timed(lambda: rebuild(stores[AGG_JOBS]))
+    return identical, serial_time, parallel_time
+
+
+def _pipeline_observations():
+    t0 = date_to_epoch(STUDY_START)
+    return [
+        DnsObservation(
+            qname=DomainName(f"host{i % 800}.example{i % 13}.com"),
+            rcode=RCode.NXDOMAIN,
+            timestamp=t0 + i * 60,
+            sensor_id="s1",
+        )
+        for i in range(PIPE_ROWS)
+    ]
+
+
+def _run_pipeline(observations, fast_lane, plan=None):
+    pipeline = ResilientIngestPipeline(
+        schedule=plan.schedule(7) if plan is not None else None,
+        fast_lane=fast_lane,
+    )
+    pipeline.ingest_many(observations)
+    pipeline.finish()
+    return pipeline
+
+
+def _fast_lane(observations):
+    """Fast-lane identity (clean + degraded) and clean-path timings."""
+    fast_time, fast = _timed(lambda: _run_pipeline(observations, True))
+    record_time, record = _timed(lambda: _run_pipeline(observations, False))
+    clean_match = (
+        fast.database.fingerprint() == record.database.fingerprint()
+        and fast.stats == record.stats
+    )
+    degraded_fast = _run_pipeline(observations, True, plan=DEGRADED_PLAN)
+    degraded_record = _run_pipeline(observations, False, plan=DEGRADED_PLAN)
+    degraded_match = (
+        degraded_fast.database.fingerprint()
+        == degraded_record.database.fingerprint()
+        and degraded_fast.stats == degraded_record.stats
+    )
+    return clean_match, degraded_match, fast_time, record_time, fast
+
+
 def build_snapshot():
     """Measure the canonical workloads and return the summary dict."""
     workload = _workload()
     scalar_time, scalar_db = _timed(lambda: _scalar_ingest(workload))
     batch_time, batch_db = _timed(lambda: _batch_ingest(workload))
+    aggregates_match, agg_serial_time, agg_parallel_time = (
+        _parallel_aggregates(workload)
+    )
+    observations = _pipeline_observations()
+    clean_match, degraded_match, fast_time, record_time, fast = _fast_lane(
+        observations
+    )
 
     target = workload[0][11]
     window = (0, 500 * 86_400)
@@ -112,6 +214,8 @@ def build_snapshot():
             "ingest_domains": N_DOMAINS,
             "trace_domains": TRACE_CONFIG.total_domains,
             "trace_jobs": TRACE_JOBS,
+            "aggregate_jobs": AGG_JOBS,
+            "pipeline_rows": PIPE_ROWS,
         },
         "contracts": {
             "ingest_fingerprint": batch_db.fingerprint(),
@@ -130,6 +234,10 @@ def build_snapshot():
                 and serial.pre_expiry_db.fingerprint()
                 == sharded.pre_expiry_db.fingerprint()
             ),
+            "parallel_aggregates_match_serial": aggregates_match,
+            "fast_lane_fingerprint": fast.database.fingerprint(),
+            "fast_lane_matches_record_path": clean_match,
+            "fast_lane_matches_record_path_degraded": degraded_match,
         },
         "timings": {
             "scalar_ingest_ms": round(scalar_time * 1e3, 2),
@@ -140,6 +248,13 @@ def build_snapshot():
             "index_speedup": round(scan_time / indexed_time, 1),
             "serial_generate_ms": round(serial_time * 1e3, 1),
             "sharded_generate_ms": round(sharded_time * 1e3, 1),
+            "aggregate_serial_ms": round(agg_serial_time * 1e3, 1),
+            "aggregate_jobs4_ms": round(agg_parallel_time * 1e3, 1),
+            "aggregate_speedup": round(agg_serial_time / agg_parallel_time, 2),
+            "record_path_ms": round(record_time * 1e3, 1),
+            "fast_lane_ms": round(fast_time * 1e3, 1),
+            "fast_lane_speedup": round(record_time / fast_time, 2),
+            "fast_lane_rows_per_sec": round(PIPE_ROWS / fast_time),
         },
     }
 

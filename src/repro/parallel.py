@@ -1,0 +1,78 @@
+"""Deterministic shard-map helpers for the parallel hot paths.
+
+Every parallel loop in this repo follows the same discipline (first
+applied in ``workloads.trace.generate(jobs=N)``):
+
+1. work is cut into **contiguous shards** whose boundaries depend only
+   on the total size and the worker count, never on timing;
+2. each shard is mapped by a pure function whose output depends only
+   on the shard's contents (per-item RNG streams, where needed, are
+   keyed by *global* index, not shard index);
+3. results are merged back **in shard order** (``Executor.map``
+   preserves submission order), so the reduce sees the same sequence
+   the serial loop would.
+
+Under those rules the merged result is bit-identical to the serial
+one at any worker count — parallelism moves *where* the work runs,
+never what it produces.  The helpers here are the shared mechanical
+core: :func:`shard_bounds` cuts, :func:`map_shards` maps-and-merges.
+
+``process=True`` runs shards on a :class:`ProcessPoolExecutor` — use
+it when the map function holds the GIL (per-row :mod:`hashlib` work,
+heavy Python loops); the function and every task must then be
+picklable, which in practice means a module-level function fed plain
+arrays.  The default thread pool is right for numpy-bound maps and
+for closures over shared read-only state.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+from repro.errors import ConfigError
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def shard_bounds(total: int, jobs: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` bounds cutting ``total`` items ``jobs`` ways.
+
+    The same integer arithmetic as the trace generator's population
+    cut: shard ``k`` spans ``[total*k//jobs, total*(k+1)//jobs)``, so
+    sizes differ by at most one and the cut depends only on
+    ``(total, jobs)``.  Empty shards (``lo == hi``) are possible when
+    ``jobs > total`` and are the caller's to skip.
+    """
+    if total < 0:
+        raise ConfigError("total must be non-negative")
+    if jobs < 1:
+        raise ConfigError("jobs must be at least 1")
+    return [
+        ((total * shard) // jobs, (total * (shard + 1)) // jobs)
+        for shard in range(jobs)
+    ]
+
+
+def map_shards(
+    fn: Callable[[_T], _R],
+    tasks: Sequence[_T],
+    jobs: int,
+    process: bool = False,
+) -> List[_R]:
+    """``[fn(t) for t in tasks]``, optionally on a worker pool.
+
+    With ``jobs <= 1`` (or a single task) the map runs inline — the
+    serial path *is* the parallel path with the pool removed, so there
+    is no separate code branch to drift.  Otherwise the tasks run on a
+    pool of ``min(jobs, len(tasks))`` workers and the results come
+    back in task order regardless of completion order.
+    """
+    if jobs < 1:
+        raise ConfigError("jobs must be at least 1")
+    if jobs == 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    executor_cls = ProcessPoolExecutor if process else ThreadPoolExecutor
+    with executor_cls(max_workers=min(jobs, len(tasks))) as pool:
+        return list(pool.map(fn, tasks))

@@ -57,6 +57,7 @@ import numpy as np
 from repro.clock import SECONDS_PER_DAY, month_key
 from repro.dns.message import RCode
 from repro.dns.name import DomainName
+from repro.parallel import map_shards, shard_bounds
 from repro.passivedns.record import DnsObservation
 from repro.passivedns.spill import DIGEST_MASK, SpillStore
 from repro.errors import ConfigError, CorruptArchiveError
@@ -65,6 +66,129 @@ from repro.errors import ConfigError, CorruptArchiveError
 #: min/max updates against them always lose to a real timestamp.
 _FIRST_SEEN_SENTINEL = np.int64(2**62)
 _LAST_SEEN_SENTINEL = np.int64(-(2**62))
+
+
+# -- aggregate map tasks ------------------------------------------------------
+#
+# The chunk-parallel aggregate builders cut the row parts into
+# contiguous shards and map one of the pure functions below over each
+# shard (on a process pool when ``aggregate_jobs > 1`` — the digest
+# and fingerprint maps are per-row :mod:`hashlib` work that never
+# releases the GIL).  Each function reads only its task tuple and
+# touches no shared state, so the associative reduces in the builders
+# are bit-identical to the serial pass at any worker count and any
+# shard layout.
+
+
+def _row_lines(row_names: np.ndarray, times: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Canonical ``name\\x00time\\x00count`` line per row (vectorized)."""
+    lines = row_names
+    for column in (times, counts):
+        lines = np.char.add(
+            np.char.add(lines, "\x00"),
+            np.ascontiguousarray(column, dtype=np.int64).astype(np.str_),
+        )
+    return lines
+
+
+def _digest_map(task: Tuple[np.ndarray, np.ndarray, np.ndarray]) -> int:
+    """Mergeable multiset digest of one row shard (sum mod 2**128)."""
+    row_names, times, counts = task
+    total = 0
+    for line in _row_lines(row_names, times, counts).tolist():
+        piece = hashlib.blake2b(line.encode("utf-8"), digest_size=16).digest()
+        total += int.from_bytes(piece, "big")
+    return total & DIGEST_MASK
+
+
+def _fingerprint_map(
+    task: Tuple[np.ndarray, np.ndarray, np.ndarray]
+) -> bytes:
+    """UTF-8 bytes of one already-sorted fingerprint slice."""
+    row_names, times, counts = task
+    return "\n".join(_row_lines(row_names, times, counts).tolist()).encode(
+        "utf-8"
+    )
+
+
+def _monthly_map(
+    task: Tuple[np.ndarray, np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-shard (distinct days, query sums per day)."""
+    times, counts = task
+    days = times // SECONDS_PER_DAY
+    unique_days, inverse = np.unique(days, return_inverse=True)
+    sums = np.zeros(len(unique_days), dtype=np.int64)
+    np.add.at(sums, inverse, counts)
+    return unique_days, sums
+
+
+def _lifespan_map(
+    task: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int, int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-shard (query sums per offset, unique (offset, domain) keys)."""
+    ids, times, counts, first_subset, max_days, n_domains = task
+    offsets = (times - first_subset) // SECONDS_PER_DAY
+    in_window = (offsets >= 0) & (offsets < max_days)
+    queries = np.zeros(max_days, dtype=np.int64)
+    np.add.at(queries, offsets[in_window], counts[in_window])
+    pair_keys = offsets[in_window] * np.int64(n_domains) + ids[in_window]
+    return queries, np.unique(pair_keys)
+
+
+def _tld_map(
+    task: Tuple[np.ndarray, np.ndarray, int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-shard (domains per TLD, queries per TLD) over domain columns."""
+    tld_ids, totals, n_tlds = task
+    domains_per = np.bincount(tld_ids, minlength=n_tlds).astype(np.int64)
+    queries_per = np.zeros(n_tlds, dtype=np.int64)
+    np.add.at(queries_per, tld_ids, totals)
+    return domains_per, queries_per
+
+
+def _reshard_rows(
+    parts: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]], jobs: int
+) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Re-cut row parts into ~``jobs`` contiguous row-range shards.
+
+    Chunk/segment boundaries follow ingest batching, so a store can
+    hold one huge consolidated chunk or dozens of tiny ones; the
+    worker pool wants neither.  This re-cuts the concatenated row
+    space with :func:`shard_bounds` — every aggregate reduce is
+    associative over rows, so the cut is invisible in the result.
+    """
+    total = sum(len(part[0]) for part in parts)
+    if total == 0:
+        return []
+    starts = np.zeros(len(parts) + 1, dtype=np.int64)
+    np.cumsum([len(part[0]) for part in parts], out=starts[1:])
+    shards: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    for lo, hi in shard_bounds(total, jobs):
+        if lo == hi:
+            continue
+        pieces = []
+        for index, part in enumerate(parts):
+            part_lo, part_hi = int(starts[index]), int(starts[index + 1])
+            cut_lo, cut_hi = max(lo, part_lo), min(hi, part_hi)
+            if cut_lo >= cut_hi:
+                continue
+            pieces.append(
+                tuple(
+                    column[cut_lo - part_lo : cut_hi - part_lo]
+                    for column in part
+                )
+            )
+        if len(pieces) == 1:
+            shards.append(pieces[0])
+        else:
+            shards.append(
+                tuple(
+                    np.concatenate([piece[i] for piece in pieces])
+                    for i in range(3)
+                )
+            )
+    return shards
 
 
 class _IntColumn:
@@ -174,11 +298,19 @@ class PassiveDnsDatabase:
         spill_paranoid: bool = False,
         spill_read_only: bool = False,
         spill_compact_threshold: int = 0,
+        aggregate_jobs: int = 1,
     ) -> None:
         if spill_compact_threshold < 0 or spill_compact_threshold == 1:
             raise ConfigError(
                 "spill_compact_threshold must be 0 (off) or at least 2"
             )
+        if aggregate_jobs < 1:
+            raise ConfigError("aggregate_jobs must be at least 1")
+        #: Worker count for the chunk-parallel aggregate builders
+        #: (monthly series, TLD histogram, lifespan decay, digest,
+        #: fingerprint).  ``1`` keeps every reduce inline; any value
+        #: produces bit-identical aggregates (see ``_reshard_rows``).
+        self.aggregate_jobs = aggregate_jobs
         self._id_of: Dict[DomainName, int] = {}
         self._domains: List[DomainName] = []
         # Per-domain aggregate columns (parallel to ``_domains``).
@@ -243,21 +375,37 @@ class PassiveDnsDatabase:
         counted — the idempotence that makes at-least-once channel
         delivery and dead-letter replay safe.
         """
+        if self.admit(observation):
+            self.add(
+                observation.registered_domain,
+                observation.timestamp,
+                observation.count,
+            )
+
+    def admit(self, observation: DnsObservation) -> bool:
+        """Admission control without the row append.
+
+        Applies the NXDomain filter and, when ``deduplicate`` is on,
+        advances the sliding dedup window exactly as :meth:`ingest`
+        would — returning whether the observation should land.  Split
+        out so a batch-buffering caller (the pipeline's fast lane) can
+        run admission at arrival order while deferring the appends:
+        the window state and ``duplicates_suppressed`` evolve
+        identically either way.
+        """
         if not observation.is_nxdomain:
-            return
+            return False
         if self.deduplicate:
             key = observation.observation_key
             if key in self._recent_keys:
-                self.duplicates_suppressed += 1
-                return
-            self._recent_keys[key] = None
+                # Suppression state, not a row column: no generation-
+                # keyed cache reads the window or the counter.
+                self.duplicates_suppressed += 1  # repro: noqa[REP204]
+                return False
+            self._recent_keys[key] = None  # repro: noqa[REP204]
             while len(self._recent_keys) > self.DEDUP_WINDOW:
                 self._recent_keys.popitem(last=False)
-        self.add(
-            observation.registered_domain,
-            observation.timestamp,
-            observation.count,
-        )
+        return True
 
     def add(self, domain: DomainName, timestamp: int, count: int = 1) -> None:
         """Record ``count`` NXDomain responses for ``domain`` at ``timestamp``."""
@@ -529,6 +677,17 @@ class PassiveDnsDatabase:
             self._index_cache = (self._generation, order, starts)
         return order, starts
 
+    def warm_query_caches(self) -> None:
+        """Build the columns and CSR-index caches on the calling thread.
+
+        Analyses that fan per-domain queries out over reader threads
+        (``expiry_timeline(jobs=N)``) call this once first: the lazy
+        builders may reshape the chunk layout (tail seal,
+        consolidation), which is single-writer by contract, so the
+        caches must be published before readers race on them.
+        """
+        self._row_index()
+
     def _rows_for(self, domain_id: int) -> np.ndarray:
         order, starts = self._row_index()
         return order[starts[domain_id] : starts[domain_id + 1]]
@@ -572,6 +731,59 @@ class PassiveDnsDatabase:
             self._last_seen.view().copy(),
             self._totals.view().copy(),
         )
+
+    def aggregate_snapshot(
+        self,
+    ) -> Tuple[List[DomainName], np.ndarray, np.ndarray, np.ndarray]:
+        """(domains, first_seen, last_seen, totals) in intern order.
+
+        The columnar counterpart of looping :meth:`profile` over every
+        domain: one copy of the aggregate columns instead of a Python
+        object per domain.  Domains that were interned but never
+        received a row carry their sentinels; interning always happens
+        on the append path, so stores built through :meth:`ingest` /
+        :meth:`add` / :meth:`add_rows` never contain such entries.
+        """
+        first_seen, last_seen, totals = self._aggregate_columns()
+        return list(self._domains), first_seen, last_seen, totals
+
+    # -- parallel aggregate plumbing ----------------------------------------
+
+    def _row_name_array(self) -> np.ndarray:
+        """Domain names as a fixed-width numpy string array, id-indexed."""
+        return np.asarray(
+            [str(d) for d in self._domains], dtype=np.str_
+        )
+
+    def _row_shards(self) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Row parts re-cut for the aggregate worker pool.
+
+        The part-list snapshot happens under ``_cache_lock`` (REP30x
+        discipline: snapshot under the lock, build outside it); the
+        mapped work never runs while the lock is held.  With
+        ``aggregate_jobs <= 1`` the parts come back untouched, so the
+        serial builders keep streaming one mmap'd segment at a time;
+        otherwise they are re-cut into ~``aggregate_jobs`` contiguous
+        row-range shards for the pool.
+        """
+        with self._cache_lock:
+            parts = self._parts()
+        if self.aggregate_jobs <= 1:
+            return parts
+        return _reshard_rows(parts, self.aggregate_jobs)
+
+    def _map_tasks(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+        """Map ``fn`` over shard tasks on the aggregate worker pool.
+
+        Process workers: the digest/fingerprint maps are per-row
+        :mod:`hashlib` loops that hold the GIL, and the numpy maps are
+        cheap enough that fork cost dominates only when the store is
+        tiny (where ``map_shards`` runs inline anyway).  Tasks must be
+        plain-array tuples — never ``self`` (the store holds an
+        unpicklable lock, and shipping it would re-run every map
+        against a private copy).
+        """
+        return map_shards(fn, tasks, jobs=self.aggregate_jobs, process=True)
 
     @classmethod
     def _from_arrays(
@@ -631,20 +843,10 @@ class PassiveDnsDatabase:
         """
         if len(ids) == 0:
             return 0
-        names = np.asarray([str(d) for d in self._domains], dtype=np.str_)
-        lines = names[np.ascontiguousarray(ids, dtype=np.int64)]
-        for column in (times, counts):
-            lines = np.char.add(
-                np.char.add(lines, "\x00"),
-                np.ascontiguousarray(column, dtype=np.int64).astype(np.str_),
-            )
-        total = 0
-        for line in lines.tolist():
-            piece = hashlib.blake2b(
-                line.encode("utf-8"), digest_size=16
-            ).digest()
-            total += int.from_bytes(piece, "big")
-        return total & DIGEST_MASK
+        row_names = self._row_name_array()[
+            np.ascontiguousarray(ids, dtype=np.int64)
+        ]
+        return _digest_map((row_names, times, counts))
 
     def digest(self) -> str:
         """Order-insensitive, mergeable whole-store digest (32 hex).
@@ -660,19 +862,52 @@ class PassiveDnsDatabase:
         return self._cached(("digest",), self._build_digest)
 
     def _build_digest(self) -> str:
+        # Snapshot under the lock, hash outside it (REP30x): parts,
+        # the segment-name list, and the per-segment cache are read in
+        # one atomic step; the per-row BLAKE2 work — the expensive
+        # part — then runs lock-free on the worker pool.
+        with self._cache_lock:
+            parts = self._parts()
+            names = list(self._chunk_spill_names)
+            cached = dict(self._segment_digest_cache)
         total = 0
-        names = self._chunk_spill_names
-        for index, (ids, times, counts) in enumerate(self._parts()):
+        pending_named: List[Tuple[str, Tuple[np.ndarray, np.ndarray, np.ndarray]]] = []
+        unnamed: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        for index, part in enumerate(parts):
             name = names[index] if index < len(names) else None
-            if name is not None:
-                value = self._segment_digest_cache.get(name)
-                if value is None:
-                    value = self._rows_digest(ids, times, counts)
-                    with self._cache_lock:
-                        self._segment_digest_cache[name] = value
+            if name is None:
+                unnamed.append(part)
+                continue
+            value = cached.get(name)
+            if value is None:
+                # Uncached segments are hashed whole (not re-cut) so
+                # the result is cacheable per segment name.
+                pending_named.append((name, part))
             else:
-                value = self._rows_digest(ids, times, counts)
-            total += value
+                total += value
+        row_names = self._row_name_array()
+
+        def task_of(part: Tuple[np.ndarray, np.ndarray, np.ndarray]):
+            ids, times, counts = part
+            return (
+                row_names[np.ascontiguousarray(ids, dtype=np.int64)],
+                times,
+                counts,
+            )
+
+        shards = (
+            unnamed
+            if self.aggregate_jobs <= 1
+            else _reshard_rows(unnamed, self.aggregate_jobs)
+        )
+        tasks = [task_of(part) for _, part in pending_named]
+        tasks += [task_of(shard) for shard in shards]
+        values = self._map_tasks(_digest_map, tasks)
+        if pending_named:
+            with self._cache_lock:
+                for (name, _), value in zip(pending_named, values):
+                    self._segment_digest_cache[name] = value
+        total += sum(values)
         return f"{total & DIGEST_MASK:032x}"
 
     def _restore_from_spill(self, paranoid: bool = False) -> None:
@@ -905,16 +1140,26 @@ class PassiveDnsDatabase:
         ids, times, counts = self._columns()
         if len(ids) == 0:
             return digest.hexdigest()
-        names = np.asarray([str(d) for d in self._domains], dtype=np.str_)
+        names = self._row_name_array()
         # Rank of each domain id under lexicographic name order; equal
         # to sorting the stringified rows since ids map 1:1 to names.
         rank = np.empty(len(names), dtype=np.int64)
         rank[np.argsort(names, kind="stable")] = np.arange(len(names))
         order = np.lexsort((counts, times, rank[ids]))
-        lines = names[ids[order]]
-        for column in (times[order], counts[order]):
-            lines = np.char.add(np.char.add(lines, "\x00"), column.astype(np.str_))
-        digest.update("\n".join(lines.tolist()).encode("utf-8"))
+        # The canonical sort fixes the line sequence; the UTF-8 line
+        # rendering is then embarrassingly parallel over contiguous
+        # slices of it, and joining the slices with the same "\n"
+        # separator reproduces the serial byte stream exactly.
+        sorted_names = names[ids[order]]
+        sorted_times = times[order]
+        sorted_counts = counts[order]
+        tasks = [
+            (sorted_names[lo:hi], sorted_times[lo:hi], sorted_counts[lo:hi])
+            for lo, hi in shard_bounds(len(order), self.aggregate_jobs)
+            if lo != hi
+        ]
+        pieces = self._map_tasks(_fingerprint_map, tasks)
+        digest.update(b"\n".join(pieces))
         digest.update(b"\n")
         return digest.hexdigest()
 
@@ -960,15 +1205,13 @@ class PassiveDnsDatabase:
         # Bucket by month via 30.44-day bins would drift; instead map
         # each distinct day to its month key once (cheap: few thousand
         # distinct days over the study window).  Per-day sums stream
-        # over the parts so a spill-backed store never concatenates;
-        # the final ascending-day walk reproduces the single-pass
-        # insertion order exactly.
+        # over the row shards (one map task each) so a spill-backed
+        # store never concatenates; day-keyed sums commute across any
+        # shard layout, and the final ascending-day walk reproduces
+        # the single-pass insertion order exactly.
         day_sums: Dict[int, int] = {}
-        for _, times, counts in self._parts():
-            days = times // SECONDS_PER_DAY
-            unique_days, inverse = np.unique(days, return_inverse=True)
-            sums = np.zeros(len(unique_days), dtype=np.int64)
-            np.add.at(sums, inverse, counts)
+        tasks = [(times, counts) for _, times, counts in self._row_shards()]
+        for unique_days, sums in self._map_tasks(_monthly_map, tasks):
             for day, total in zip(unique_days.tolist(), sums.tolist()):
                 day_sums[day] = day_sums.get(day, 0) + total
         for day in sorted(day_sums):
@@ -983,13 +1226,29 @@ class PassiveDnsDatabase:
     def _build_tld_histogram(self) -> Dict[str, Tuple[int, int]]:
         if not self._domains:
             return {}
-        tld_ids = self._tld_ids.view()
-        domains_per = np.bincount(tld_ids, minlength=len(self._tlds))
-        queries_per = np.zeros(len(self._tlds), dtype=np.int64)
-        np.add.at(queries_per, tld_ids, self._totals.view())
+        # Snapshot the domain columns under the lock, reduce outside
+        # it.  This histogram reduces the per-domain columns, not the
+        # row parts, so the shard cut runs over the domain-id space.
+        with self._cache_lock:
+            tld_ids = self._tld_ids.view().copy()
+            totals = self._totals.view().copy()
+            tlds = list(self._tlds)
+        if self.aggregate_jobs <= 1:
+            tasks = [(tld_ids, totals, len(tlds))]
+        else:
+            tasks = [
+                (tld_ids[lo:hi], totals[lo:hi], len(tlds))
+                for lo, hi in shard_bounds(len(tld_ids), self.aggregate_jobs)
+                if lo != hi
+            ]
+        domains_per = np.zeros(len(tlds), dtype=np.int64)
+        queries_per = np.zeros(len(tlds), dtype=np.int64)
+        for shard_domains, shard_queries in self._map_tasks(_tld_map, tasks):
+            domains_per += shard_domains
+            queries_per += shard_queries
         return {
             tld: (int(domains_per[tld_id]), int(queries_per[tld_id]))
-            for tld_id, tld in enumerate(self._tlds)
+            for tld_id, tld in enumerate(tlds)
         }
 
     def top_tlds(self, n: int = 20) -> List[Tuple[str, int, int]]:
@@ -1111,24 +1370,26 @@ class PassiveDnsDatabase:
     ) -> Tuple[np.ndarray, np.ndarray]:
         domains_series = np.zeros(max_days, dtype=np.int64)
         queries_series = np.zeros(max_days, dtype=np.int64)
-        first_seen = self._first_seen.view()
-        # Stream the parts: query sums accumulate directly; distinct
-        # domains per offset need unique (offset, domain) pairs, so
-        # per-part uniques are pooled and deduplicated globally (the
-        # pool holds unique pairs only, far fewer than rows).
+        with self._cache_lock:
+            first_seen = self._first_seen.view().copy()
+            n_domains = len(self._domains)
+        # Map the row shards: query sums accumulate per shard and add
+        # up in any cut; distinct domains per offset need unique
+        # (offset, domain) pairs, so per-shard uniques are pooled and
+        # deduplicated globally (the pool holds unique pairs only, far
+        # fewer than rows — and a global unique of per-shard uniques
+        # equals the unique of the raw rows, whatever the shard cut).
+        tasks = [
+            (ids, times, counts, first_seen[ids], max_days, n_domains)
+            for ids, times, counts in self._row_shards()
+        ]
         pair_pool: List[np.ndarray] = []
-        for ids, times, counts in self._parts():
-            offsets = (times - first_seen[ids]) // SECONDS_PER_DAY
-            in_window = (offsets >= 0) & (offsets < max_days)
-            np.add.at(queries_series, offsets[in_window], counts[in_window])
-            pair_keys = (
-                offsets[in_window] * np.int64(len(self._domains))
-                + ids[in_window]
-            )
-            pair_pool.append(np.unique(pair_keys))
+        for shard_queries, shard_pairs in self._map_tasks(_lifespan_map, tasks):
+            queries_series += shard_queries
+            pair_pool.append(shard_pairs)
         if pair_pool:
             unique_pairs = np.unique(np.concatenate(pair_pool))
-            pair_offsets = unique_pairs // len(self._domains)
+            pair_offsets = unique_pairs // n_domains
             np.add.at(domains_series, pair_offsets, 1)
         return domains_series, queries_series
 
