@@ -1,0 +1,128 @@
+"""Serving-tier benchmarks: overload protection must not cost identity.
+
+Contracts of :mod:`repro.serving` (see ``docs/RESILIENCE.md``):
+
+- **result identity** — a non-degraded answer from the tier is
+  bit-identical to calling the store directly, in both the
+  deterministic simulation mode and the threaded mode (hard gate
+  everywhere, including CI);
+- **sweep determinism** — the overload sweep replays bit-identically
+  from a seed: same per-point outcome counts and same injection-log
+  fingerprints on every run, and the sweep's own regression gates
+  (clean baseline perfectly clean, zero unhandled exceptions, bounded
+  answered-query p99, answered-fraction floor) hold (hard gate);
+- **overload shape** — the storm point actually exercises the
+  protection ladder (something shed / rate-limited / queue-refused)
+  and the stuck point actually cancels wedged workers (hard gate:
+  a sweep that never sheds is not testing overload);
+- **throughput** — the threaded tier sustains a floor of queries per
+  second over a mixed workload (printed everywhere, asserted only
+  off-CI per the bench_trace_scale convention).
+
+``time.perf_counter`` is a monotonic interval timer, not a wall-clock
+read, so it is (deliberately) outside REP001's ban list.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.clock import SECONDS_PER_DAY, STUDY_START, SimClock, date_to_epoch
+from repro.serving import (
+    Disposition,
+    QueryServer,
+    overload_sweep,
+    scripted_workload,
+    synthetic_store,
+)
+from repro.serving.sweep import verify_identity
+
+IN_CI = bool(os.environ.get("CI"))
+
+SEED = 0
+STORE_DOMAINS = 400
+SWEEP_QUERIES = 120
+THREADED_QUERIES = 1_500
+#: Off-CI floor for the threaded tier over the mixed workload.
+MIN_QPS = 150.0
+
+
+def _start() -> int:
+    return date_to_epoch(STUDY_START) + 400 * SECONDS_PER_DAY
+
+
+def test_serving_identity_and_sweep_determinism():
+    # -- hard gate: simulated-mode identity -------------------------------
+    db = synthetic_store(SEED, domains=STORE_DOMAINS)
+    workload = scripted_workload(db, SEED, queries=80, start=_start())
+    server = QueryServer(db, SimClock(_start()))
+    records = server.serve(workload)
+    assert server.stats.unhandled == 0
+    assert all(record.answered for record in records)
+    assert verify_identity(db, records, limit=len(records)) == 0
+
+    # -- hard gates: sweep determinism + its regression gates -------------
+    first = overload_sweep(seed=SEED, domains=STORE_DOMAINS, queries=SWEEP_QUERIES)
+    second = overload_sweep(seed=SEED, domains=STORE_DOMAINS, queries=SWEEP_QUERIES)
+    assert [point.counts for point in first.points] == [
+        point.counts for point in second.points
+    ]
+    assert [point.fingerprint for point in first.points] == [
+        point.fingerprint for point in second.points
+    ]
+    assert first.regressions() == []
+
+    # -- hard gates: the ladder is exercised, not merely reachable --------
+    by_label = {point.label: point for point in first.points}
+    storm = by_label["storm"]
+    refused = (
+        storm.count(Disposition.SHED)
+        + storm.count(Disposition.RATE_LIMITED)
+        + storm.count(Disposition.QUEUE_FULL)
+    )
+    assert refused > 0, "storm point never engaged the admission ladder"
+    assert by_label["stuck"].count(Disposition.CANCELLED) > 0
+    assert storm.unhandled == 0 and storm.p99_latency <= first.latency_bound
+
+    for point in first.points:
+        print(point.row())
+
+
+def test_serving_threaded_throughput_and_identity():
+    db = synthetic_store(SEED, domains=STORE_DOMAINS)
+    workload = scripted_workload(
+        db, SEED, queries=THREADED_QUERIES, start=_start()
+    )
+    server = QueryServer(db, SimClock(_start()))
+
+    elapsed_start = time.perf_counter()
+    records = server.serve_threaded(workload, threads=4)
+    elapsed = time.perf_counter() - elapsed_start
+
+    # -- hard gates: everything answered, results bit-identical -----------
+    assert len(records) == THREADED_QUERIES
+    assert server.stats.unhandled == 0
+    assert all(record.answered for record in records)
+    checked = 0
+    for record in records:
+        if record.disposition is not Disposition.SERVED:
+            continue
+        direct = record.request.query.execute(db)
+        if isinstance(direct, np.ndarray):
+            assert np.array_equal(record.value, direct)
+        else:
+            assert record.value == direct
+        checked += 1
+        if checked >= 50:
+            break
+    assert checked > 0
+
+    qps = THREADED_QUERIES / max(elapsed, 1e-9)
+    cached = server.stats.count(Disposition.CACHED)
+    print(
+        f"threaded serving: {THREADED_QUERIES} queries in {elapsed:.2f}s "
+        f"({qps:,.0f} qps, {cached} cache hits)"
+    )
+    if not IN_CI:
+        assert qps >= MIN_QPS, f"threaded tier sustained only {qps:.0f} qps"

@@ -15,7 +15,11 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.blocklist.categories import ThreatCategory
 from repro.dns.name import DomainName
-from repro.errors import ConfigError, RateLimitExceeded
+from repro.errors import RateLimitExceeded
+
+# The limiter grew up and moved to the resilience layer (the serving
+# tier shares it); ``RateLimit`` stays importable from here.
+from repro.resilience.ratelimit import RateLimit, TokenBucket
 
 
 @dataclass(frozen=True)
@@ -28,28 +32,26 @@ class BlocklistEntry:
     source: str = "feed"
 
 
-@dataclass
-class RateLimit:
-    """A token bucket: ``capacity`` queries refilled every ``window`` s."""
-
-    capacity: int = 10_000
-    window_seconds: int = 3600
-
-    def __post_init__(self) -> None:
-        if self.capacity <= 0 or self.window_seconds <= 0:
-            raise ConfigError("capacity and window must be positive")
-
-
 class BlocklistStore:
     """Categorized domain blocklist with a throttled external API."""
 
     def __init__(self, rate_limit: Optional[RateLimit] = None) -> None:
-        self.rate_limit = rate_limit if rate_limit is not None else RateLimit()
+        self._bucket = TokenBucket(
+            rate_limit if rate_limit is not None else RateLimit()
+        )
         self._entries: Dict[DomainName, BlocklistEntry] = {}
-        self._window_start: Optional[int] = None
-        self._window_used = 0
         self.queries_served = 0
         self.queries_rejected = 0
+
+    @property
+    def rate_limit(self) -> RateLimit:
+        return self._bucket.limit
+
+    @rate_limit.setter
+    def rate_limit(self, limit: RateLimit) -> None:
+        # Swapping the limit starts a fresh window (how the study
+        # harness lifts the quota between analysis phases).
+        self._bucket = TokenBucket(limit)
 
     # -- population (registry side, unthrottled) ---------------------------
 
@@ -100,14 +102,13 @@ class BlocklistStore:
 
         ``now`` is simulation time; the token window slides with it.
         """
-        self._refill(now)
-        if self._window_used >= self.rate_limit.capacity:
+        if not self._bucket.try_acquire(now):
             self.queries_rejected += 1
             raise RateLimitExceeded(
                 f"blocklist API limit of {self.rate_limit.capacity} queries "
-                f"per {self.rate_limit.window_seconds}s exhausted"
+                f"per {self.rate_limit.window_seconds}s exhausted",
+                retry_after=self._bucket.retry_after(now),
             )
-        self._window_used += 1
         self.queries_served += 1
         return self.lookup(domain)
 
@@ -124,13 +125,4 @@ class BlocklistStore:
         return hits
 
     def remaining_budget(self, now: int) -> int:
-        self._refill(now)
-        return self.rate_limit.capacity - self._window_used
-
-    def _refill(self, now: int) -> None:
-        if (
-            self._window_start is None
-            or now - self._window_start >= self.rate_limit.window_seconds
-        ):
-            self._window_start = now
-            self._window_used = 0
+        return self._bucket.remaining(now)

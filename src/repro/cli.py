@@ -15,6 +15,8 @@ individual detectors:
   far the §4 shape checks degrade;
 - ``repro-nxd spill`` — inspect, compact, and reclaim a crash-safe
   spill store directory (``info`` opens it read-only);
+- ``repro-nxd serve`` — replay a scripted query batch through the
+  overload-hardened serving tier, or gate the overload sweep;
 - ``repro-nxd lint`` — run the determinism & layering linter
   (:mod:`repro.analysis`) over the source tree.
 """
@@ -208,6 +210,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub_squat.add_argument("names", nargs="+", help="domain names to classify")
 
+    sub_serve = sub.add_parser(
+        "serve",
+        help="replay a scripted query batch through the overload-hardened "
+        "serving tier, or run the overload sweep",
+    )
+    sub_serve.add_argument("--seed", type=int, default=0, help="store/workload seed")
+    sub_serve.add_argument(
+        "--domains", type=int, default=500, help="synthetic store size"
+    )
+    sub_serve.add_argument(
+        "--script",
+        default=None,
+        help="JSONL query script: one request per line with a 'kind' "
+        "(top-domains, daily-series, timeline, activity-window), its "
+        "query fields, and optional tenant/priority/budget/at (arrival "
+        "offset seconds)",
+    )
+    sub_serve.add_argument(
+        "--sweep",
+        action="store_true",
+        help="run the overload sweep (clean/slow/stuck/storm) and gate "
+        "the shed/degraded/served curves against the clean baseline",
+    )
+    sub_serve.add_argument(
+        "--queries", type=int, default=240, help="sweep workload size"
+    )
+
     from repro.analysis.main import add_lint_arguments
 
     sub_lint = sub.add_parser(
@@ -380,6 +409,99 @@ def cmd_squat(args: argparse.Namespace) -> int:
             rows.append((name, match.squat_type.value, str(match.target)))
     print(reports.render_table(["domain", "verdict", "target"], rows))
     return 0
+
+
+def _render_served_value(value) -> str:
+    import numpy as np
+
+    if value is None:
+        return "-"
+    if isinstance(value, np.ndarray):
+        return f"series[{len(value)}] total={int(value.sum())}"
+    if isinstance(value, list):
+        head = ", ".join(f"{name}={total}" for name, total in value[:3])
+        return f"top[{len(value)}] {head}"
+    if isinstance(value, dict):
+        return (
+            f"active={value.get('active_days')}/"
+            f"{value.get('lifespan_days')}d total={value.get('total_queries')}"
+        )
+    return str(value)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.clock import SECONDS_PER_DAY, STUDY_START, SimClock, date_to_epoch
+    from repro.serving import (
+        QueryRequest,
+        QueryServer,
+        overload_sweep,
+        query_from_payload,
+        synthetic_store,
+    )
+
+    if args.sweep:
+        report = overload_sweep(
+            seed=args.seed, domains=args.domains, queries=args.queries
+        )
+        for row in report.rows():
+            print(row)
+        problems = report.regressions()
+        if problems:
+            print()
+            for problem in problems:
+                print(f"REGRESSION: {problem}")
+            return 1
+        print()
+        print(f"overload sweep passed ({len(report.points)} points)")
+        return 0
+    if args.script is None:
+        print("serve: need --script FILE or --sweep", file=sys.stderr)
+        return 2
+    with open(args.script, "r", encoding="utf-8") as handle:
+        payloads = [json.loads(line) for line in handle if line.strip()]
+    db = synthetic_store(args.seed, domains=args.domains)
+    start = date_to_epoch(STUDY_START) + 400 * SECONDS_PER_DAY
+    requests = []
+    for payload in payloads:
+        tenant = payload.pop("tenant", "default")
+        priority = payload.pop("priority", 1)
+        budget = payload.pop("budget", None)
+        at = payload.pop("at", None)
+        requests.append(
+            QueryRequest(
+                query=query_from_payload(payload),
+                tenant=tenant,
+                priority=priority,
+                budget=budget,
+                at=start + int(at) if at is not None else None,
+            )
+        )
+    server = QueryServer(db, SimClock(start))
+    records = server.serve(requests)
+    rows = [
+        (
+            str(record.seq),
+            record.request.query.kind,
+            record.request.tenant,
+            record.disposition.value,
+            f"{record.latency}s",
+            _render_served_value(record.value) if record.answered else record.detail,
+        )
+        for record in records
+    ]
+    print(
+        reports.render_table(
+            ["#", "kind", "tenant", "outcome", "latency", "result"], rows
+        )
+    )
+    print(
+        f"answered {sum(1 for r in records if r.answered)}/{len(records)}, "
+        f"p99 latency {server.stats.p99_latency()}s, "
+        f"unhandled {server.stats.unhandled}"
+    )
+    return 0 if server.stats.unhandled == 0 else 1
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
@@ -590,6 +712,7 @@ _COMMANDS = {
     "sinkhole": cmd_sinkhole,
     "dga": cmd_dga,
     "squat": cmd_squat,
+    "serve": cmd_serve,
     "lint": cmd_lint,
 }
 

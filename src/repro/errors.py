@@ -92,6 +92,15 @@ class CircuitOpenError(ReproError):
     """A circuit breaker is open and refused the call."""
 
 
+class DeadlineExceededError(ReproError):
+    """A query ran past its admission deadline and was cancelled.
+
+    Raised cooperatively: long scans call a cost meter's checkpoint
+    between strides, so cancellation is quantized at stride boundaries
+    rather than interrupting mid-computation.
+    """
+
+
 class LifecycleError(ReproError):
     """An illegal domain lifecycle transition was attempted."""
 
@@ -101,7 +110,16 @@ class RegistryError(ReproError):
 
 
 class RateLimitExceeded(ReproError):
-    """A rate-limited API (e.g. the blocklist store) refused a query."""
+    """A rate-limited API (e.g. the blocklist store) refused a query.
+
+    ``retry_after`` carries the seconds (simulated) until the limiter's
+    window resets and a retry can succeed, when the limiter knows it;
+    ``None`` otherwise.  The serving tier surfaces it to tenants.
+    """
+
+    def __init__(self, message: str, retry_after=None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class HoneypotError(ReproError):

@@ -27,9 +27,12 @@ from repro.faults.injectors import (
     FaultAction,
     FsyncLossInjector,
     Injector,
+    QueryBurstInjector,
     ReorderInjector,
+    SlowWorkerInjector,
     StorageFaultInjector,
     StoreFaultInjector,
+    StuckWorkerInjector,
     TornWriteInjector,
 )
 from repro.faults.plan import (
@@ -55,8 +58,11 @@ __all__ = [  # repro: noqa[REP104] fault-plan record types; exported for annotat
     "InjectionEvent",
     "InjectionLog",
     "Injector",
+    "QueryBurstInjector",
     "ReorderInjector",
+    "SlowWorkerInjector",
     "StorageFaultInjector",
     "StoreFaultInjector",
+    "StuckWorkerInjector",
     "TornWriteInjector",
 ]

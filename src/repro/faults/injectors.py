@@ -306,6 +306,102 @@ class BurstInjector(Injector):
 
 
 # ---------------------------------------------------------------------------
+# serving faults: overload injectors for the query tier
+# ---------------------------------------------------------------------------
+
+
+class SlowWorkerInjector(Injector):
+    """A worker that takes far longer on a query than its cost predicts.
+
+    Models a page-cache miss storm, a GC pause, or a noisy neighbour:
+    the query still completes correctly, just ``seconds`` later — which
+    is enough to blow a deadline and back the admission queue up.
+    """
+
+    name = "slow-worker"
+
+    def __init__(
+        self,
+        rate: float,
+        seconds: int,
+        rng: np.random.Generator,
+        log: InjectionLog,
+    ) -> None:
+        super().__init__(rng, log)
+        if seconds < 1:
+            raise ConfigError("slow-worker delay must be at least 1 second")
+        self.rate = rate
+        self.seconds = seconds
+
+    def delay(self, context: str = "") -> int:
+        """Extra simulated service seconds for the current query."""
+        self.decisions += 1
+        if self._uniform() < self.rate:
+            self._record("slow", f"{context} +{self.seconds}s".strip())
+            return self.seconds
+        return 0
+
+
+class StuckWorkerInjector(Injector):
+    """A worker that stops making progress entirely on one query.
+
+    The deadlock/livelock failure mode: no result ever comes back, so
+    only the deadline reaper frees the worker.  The query tier charges
+    the whole remaining budget and counts the query cancelled.
+    """
+
+    name = "stuck-worker"
+
+    def __init__(
+        self, rate: float, rng: np.random.Generator, log: InjectionLog
+    ) -> None:
+        super().__init__(rng, log)
+        self.rate = rate
+
+    def stuck(self, context: str = "") -> bool:
+        """Whether the worker wedges on the current query."""
+        self.decisions += 1
+        if self._uniform() < self.rate:
+            self._record("stuck", context)
+            return True
+        return False
+
+
+class QueryBurstInjector(Injector):
+    """Arrival bursts: windows where each submission fans out ×N.
+
+    The serving-side sibling of :class:`BurstInjector` — purely
+    window-driven, modelling a tenant script gone hot-loop (or an
+    NXNSAttack-style flood of per-client breakdown queries) hitting
+    the admission controller.
+    """
+
+    name = "query-burst"
+
+    def __init__(
+        self,
+        windows: Sequence[Tuple[int, int]],
+        fanout: int,
+        rng: np.random.Generator,
+        log: InjectionLog,
+    ) -> None:
+        super().__init__(rng, log)
+        if fanout < 1:
+            raise ConfigError("query-burst fanout must be at least 1")
+        self.windows = tuple(windows)
+        self.fanout = fanout
+
+    def factor(self, timestamp: int) -> int:
+        """Arrival multiplier in effect at ``timestamp`` (1 = none)."""
+        self.decisions += 1
+        for start, end in self.windows:
+            if start <= timestamp < end:
+                self._record("query-burst", f"t={timestamp} x{self.fanout}")
+                return self.fanout
+        return 1
+
+
+# ---------------------------------------------------------------------------
 # storage faults: crash-at-a-write-boundary injectors for the spill store
 # ---------------------------------------------------------------------------
 

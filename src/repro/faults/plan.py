@@ -24,8 +24,11 @@ from repro.faults.injectors import (
     DuplicateInjector,
     InjectionEvent,
     InjectionLog,
+    QueryBurstInjector,
     ReorderInjector,
+    SlowWorkerInjector,
     StoreFaultInjector,
+    StuckWorkerInjector,
 )
 from repro.rand import SeedSequenceFactory
 
@@ -44,6 +47,8 @@ _RATE_FIELDS = (
     "reorder_rate",
     "subscriber_crash_rate",
     "store_failure_rate",
+    "slow_worker_rate",
+    "stuck_worker_rate",
 )
 
 
@@ -93,6 +98,18 @@ class FaultPlan:
     burst_episodes: int = 0
     burst_days: float = 1.0
     burst_multiplier: int = 5
+    #: Per-query slow worker (serving tier): probability and injected
+    #: extra service seconds.
+    slow_worker_rate: float = 0.0
+    slow_worker_seconds: int = 45
+    #: Per-query wedged worker (progress stops; only the deadline
+    #: reaper frees it).
+    stuck_worker_rate: float = 0.0
+    #: Count, length, and fan-out of arrival-burst episodes hitting
+    #: the query tier's admission controller.
+    query_burst_episodes: int = 0
+    query_burst_days: float = 0.25
+    query_burst_fanout: int = 8
     #: Window placement horizon (defaults to the study window).
     horizon_start: int = date_to_epoch(STUDY_START)
     horizon_end: int = date_to_epoch(STUDY_END)
@@ -102,14 +119,26 @@ class FaultPlan:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ConfigError(f"{name} must lie in [0, 1], got {value}")
-        if self.dropout_windows < 0 or self.burst_episodes < 0:
+        if (
+            self.dropout_windows < 0
+            or self.burst_episodes < 0
+            or self.query_burst_episodes < 0
+        ):
             raise ConfigError("window counts must be non-negative")
-        if self.dropout_window_days <= 0 or self.burst_days <= 0:
+        if (
+            self.dropout_window_days <= 0
+            or self.burst_days <= 0
+            or self.query_burst_days <= 0
+        ):
             raise ConfigError("window durations must be positive")
         if self.reorder_depth < 1:
             raise ConfigError("reorder_depth must be at least 1")
         if self.burst_multiplier < 1:
             raise ConfigError("burst_multiplier must be at least 1")
+        if self.query_burst_fanout < 1:
+            raise ConfigError("query_burst_fanout must be at least 1")
+        if self.slow_worker_seconds < 1:
+            raise ConfigError("slow_worker_seconds must be at least 1")
         if self.horizon_end <= self.horizon_start:
             raise ConfigError("horizon_end must follow horizon_start")
 
@@ -120,6 +149,7 @@ class FaultPlan:
             all(getattr(self, name) == 0.0 for name in _RATE_FIELDS)
             and self.dropout_windows == 0
             and self.burst_episodes == 0
+            and self.query_burst_episodes == 0
         )
 
     @classmethod
@@ -139,6 +169,25 @@ class FaultPlan:
             store_failure_rate=rate / 2.0,
         )
 
+    @classmethod
+    def overload(
+        cls, rate: float, bursts: int = 2, fanout: int = 8
+    ) -> "FaultPlan":
+        """The serving-tier overload operating point for ``rate``.
+
+        Slows ``rate`` of queries, wedges a quarter of that outright,
+        and adds ``bursts`` arrival-flood episodes at ``fanout``× — the
+        mix the overload sweep drives against the admission ladder.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigError(f"overload rate must lie in [0, 1], got {rate}")
+        return cls(
+            slow_worker_rate=rate,
+            stuck_worker_rate=rate / 4.0,
+            query_burst_episodes=bursts,
+            query_burst_fanout=fanout,
+        )
+
     def schedule(self, seed: int) -> "FaultSchedule":
         """Materialize this plan against ``seed``."""
         return FaultSchedule(self, seed)
@@ -156,6 +205,7 @@ class FaultSchedule:
 
     _INJECTOR_LABELS = (
         "drop", "corrupt", "duplicate", "reorder", "crash", "store", "burst",
+        "slow-worker", "stuck-worker", "query-burst",
     )
 
     def __init__(self, plan: FaultPlan, seed: int) -> None:
@@ -201,6 +251,28 @@ class FaultSchedule:
             self._seeds.rng("burst"),
             self.log,
         )
+        # Serving-tier injectors.  Streams are label-derived, so adding
+        # these never perturbs the seven ingest-side streams above.
+        self.query_burst_windows = self._place_windows(
+            "query-burst-windows",
+            plan.query_burst_episodes,
+            plan.query_burst_days,
+        )
+        self.slow_worker = SlowWorkerInjector(
+            plan.slow_worker_rate,
+            plan.slow_worker_seconds,
+            self._seeds.rng("slow-worker"),
+            self.log,
+        )
+        self.stuck_worker = StuckWorkerInjector(
+            plan.stuck_worker_rate, self._seeds.rng("stuck-worker"), self.log
+        )
+        self.query_burst = QueryBurstInjector(
+            [(w.start, w.end) for w in self.query_burst_windows],
+            plan.query_burst_fanout,
+            self._seeds.rng("query-burst"),
+            self.log,
+        )
         self._injectors = {
             "drop": self.drop,
             "corrupt": self.corrupt,
@@ -209,6 +281,9 @@ class FaultSchedule:
             "crash": self.crash,
             "store": self.store,
             "burst": self.burst,
+            "slow-worker": self.slow_worker,
+            "stuck-worker": self.stuck_worker,
+            "query-burst": self.query_burst,
         }
 
     def _place_windows(

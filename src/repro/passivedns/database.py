@@ -39,6 +39,7 @@ import hashlib
 import io as _stdio
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -335,6 +336,16 @@ class PassiveDnsDatabase:
         #: stay outside the lock — only the store of the finished value
         #: is guarded.
         self._cache_lock = threading.Lock()
+        #: Guards the row layout itself: the chunk list, the tail
+        #: buffers, and the per-domain aggregate columns.  Writers hold
+        #: it for their *in-memory* critical sections only — segment IO
+        #: (spill writes, mmap) stays outside (REP304) — and readers
+        #: that need a multi-step view of one committed generation wrap
+        #: their reads in :meth:`read_transaction`.  Re-entrant so a
+        #: reader inside a transaction can call any query method.
+        #: Ordering: ``_rows_lock`` before ``_cache_lock``, never the
+        #: reverse (REP302).
+        self._rows_lock = threading.RLock()
         #: Per-segment mergeable row digests (recomputable from rows).
         self._segment_digest_cache: Dict[str, int] = {}
         self._tail_domain = _IntColumn(self._CHUNK)
@@ -411,17 +422,19 @@ class PassiveDnsDatabase:
         """Record ``count`` NXDomain responses for ``domain`` at ``timestamp``."""
         if count < 1:
             raise ConfigError("count must be at least 1")
-        domain_id = self._intern(domain)
-        if timestamp < self._first_seen[domain_id]:
-            self._first_seen[domain_id] = timestamp
-        if timestamp > self._last_seen[domain_id]:
-            self._last_seen[domain_id] = timestamp
-        self._totals[domain_id] += count
-        self._tail_domain.append(domain_id)
-        self._tail_time.append(timestamp)
-        self._tail_count.append(count)
-        self._n_rows += 1
-        self._touch()
+        with self._rows_lock:
+            domain_id = self._intern(domain)
+            if timestamp < self._first_seen[domain_id]:
+                self._first_seen[domain_id] = timestamp
+            if timestamp > self._last_seen[domain_id]:
+                self._last_seen[domain_id] = timestamp
+            self._totals[domain_id] += count
+            self._tail_domain.append(domain_id)
+            self._tail_time.append(timestamp)
+            self._tail_count.append(count)
+            self._n_rows += 1
+            self._touch()
+        self._maybe_seal()
 
     def add_rows(
         self,
@@ -490,43 +503,77 @@ class PassiveDnsDatabase:
             if ids.min() < 0 or ids.max() >= len(self._domains):
                 raise ConfigError("batch references an unknown domain id")
         # Vectorized aggregate maintenance: scatter-min/max/sum into
-        # the per-domain columns.
-        first = self._first_seen.view()
-        last = self._last_seen.view()
-        totals = self._totals.view()
-        np.minimum.at(first, ids, times)
-        np.maximum.at(last, ids, times)
-        np.add.at(totals, ids, cnts)
-        self._tail_domain.extend(ids)
-        self._tail_time.extend(times)
-        self._tail_count.extend(cnts)
-        self._n_rows += len(ids)
-        self._touch()
+        # the per-domain columns.  The whole in-memory landing is one
+        # rows-lock critical section so a concurrent
+        # :meth:`read_transaction` never sees the aggregates updated
+        # but the rows missing (or vice versa).
+        with self._rows_lock:
+            first = self._first_seen.view()
+            last = self._last_seen.view()
+            totals = self._totals.view()
+            np.minimum.at(first, ids, times)
+            np.maximum.at(last, ids, times)
+            np.add.at(totals, ids, cnts)
+            self._tail_domain.extend(ids)
+            self._tail_time.extend(times)
+            self._tail_count.extend(cnts)
+            self._n_rows += len(ids)
+            self._touch()
+        self._maybe_seal()
 
     def _intern(self, domain: DomainName) -> int:
         domain_id = self._id_of.get(domain)
         if domain_id is None:
-            domain_id = len(self._domains)
-            # Interning alone changes no row aggregates; every caller
-            # appends rows next and bumps via _touch().
-            self._id_of[domain] = domain_id  # repro: noqa[REP204]
-            self._domains.append(domain)
-            self._first_seen.append(_FIRST_SEEN_SENTINEL)
-            self._last_seen.append(_LAST_SEEN_SENTINEL)
-            self._totals.append(0)
-            tld = domain.tld
-            tld_id = self._tld_of.get(tld)
-            if tld_id is None:
-                tld_id = len(self._tlds)
-                self._tld_of[tld] = tld_id
-                self._tlds.append(tld)
-            self._tld_ids.append(tld_id)
+            with self._rows_lock:
+                domain_id = len(self._domains)
+                # Interning alone changes no row aggregates; every caller
+                # appends rows next and bumps via _touch().
+                self._id_of[domain] = domain_id  # repro: noqa[REP204]
+                self._domains.append(domain)
+                self._first_seen.append(_FIRST_SEEN_SENTINEL)
+                self._last_seen.append(_LAST_SEEN_SENTINEL)
+                self._totals.append(0)
+                tld = domain.tld
+                tld_id = self._tld_of.get(tld)
+                if tld_id is None:
+                    tld_id = len(self._tlds)
+                    self._tld_of[tld] = tld_id
+                    self._tlds.append(tld)
+                self._tld_ids.append(tld_id)
         return domain_id
 
     def _touch(self) -> None:
         self._generation += 1
+
+    def _maybe_seal(self) -> None:
+        # Outside the rows lock on purpose: sealing a spill-backed
+        # tail writes a segment to disk (REP304 — no blocking IO under
+        # a held lock).  Content is unchanged by sealing, so a reader
+        # between the append and the seal sees the same rows.
         if len(self._tail_domain) >= self._CHUNK:
             self._seal_tail()
+
+    @property
+    def generation(self) -> int:
+        """Monotone mutation counter; keys every derived cache."""
+        return self._generation
+
+    @contextmanager
+    def read_transaction(self) -> Iterator[int]:
+        """Hold the row layout still for a multi-step read.
+
+        Yields the generation the reads observe.  Everything read
+        inside the block — :meth:`aggregate_snapshot`,
+        :meth:`daily_series_for`, any cached aggregate — reflects that
+        single committed generation even while another thread is
+        mid-:meth:`add_batch` or mid-:meth:`spill_commit`: mutators
+        publish their in-memory effects in one rows-lock critical
+        section, so no torn state is observable from in here.  The
+        lock is re-entrant; keep transactions short (they stall the
+        writer, not just other readers).
+        """
+        with self._rows_lock:
+            yield self._generation
 
     def _seal_tail(self) -> None:
         if len(self._tail_domain) == 0:
@@ -538,6 +585,10 @@ class PassiveDnsDatabase:
             # at the next :meth:`spill_commit`.  Its mergeable row
             # digest is computed here, once, while the rows are hot —
             # commits then combine per-segment digests in O(#segments).
+            # Sealing is single-writer by contract, so the tail views
+            # are stable while the segment write and mmap run outside
+            # the rows lock; only the in-memory publish (chunk append,
+            # tail clear) is a critical section.
             digest = self._rows_digest(
                 self._tail_domain.view(),
                 self._tail_time.view(),
@@ -549,24 +600,32 @@ class PassiveDnsDatabase:
                 self._tail_count.view(),
                 digest=digest,
             )
-            # Sealing rewrites tail rows as an immutable chunk — the
-            # row *content* is unchanged, so caches stay valid.
-            self._chunks.append(self._spill.mmap_segment(info))  # repro: noqa[REP204]
-            self._chunk_spill_names.append(info.name)
+            part = self._spill.mmap_segment(info)
+            with self._rows_lock:
+                # Sealing rewrites tail rows as an immutable chunk — the
+                # row *content* is unchanged, so caches stay valid.
+                self._chunks.append(part)  # repro: noqa[REP204]
+                self._chunk_spill_names.append(info.name)
+                self._tail_domain.clear()
+                self._tail_time.clear()
+                self._tail_count.clear()
             with self._cache_lock:
                 self._segment_digest_cache[info.name] = digest
         else:
-            self._chunks.append(
-                (
-                    self._tail_domain.view().copy(),
-                    self._tail_time.view().copy(),
-                    self._tail_count.view().copy(),
+            with self._rows_lock:
+                if len(self._tail_domain) == 0:
+                    return
+                self._chunks.append(  # repro: noqa[REP204]
+                    (
+                        self._tail_domain.view().copy(),
+                        self._tail_time.view().copy(),
+                        self._tail_count.view().copy(),
+                    )
                 )
-            )
-            self._chunk_spill_names.append(None)
-        self._tail_domain.clear()
-        self._tail_time.clear()
-        self._tail_count.clear()
+                self._chunk_spill_names.append(None)
+                self._tail_domain.clear()
+                self._tail_time.clear()
+                self._tail_count.clear()
 
     def _parts(self) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
         """Immutable row parts in insertion order, tail snapshot last.
@@ -613,25 +672,29 @@ class PassiveDnsDatabase:
             )
         # Seal the mutable tail first so every part is an immutable
         # chunk — snapshots handed out here must never alias a buffer
-        # later appends could overwrite.
+        # later appends could overwrite.  The non-spill seal is pure
+        # memory movement, so holding the rows lock across seal +
+        # consolidate is IO-free and keeps the re-chunk atomic against
+        # a concurrent sealer.
         self._seal_tail()
-        parts = self._chunks
-        if not parts:
-            empty = np.empty(0, dtype=np.int64)
-            columns = (empty, empty.copy(), empty.copy())
-        elif len(parts) == 1:
-            columns = parts[0]
-        else:
-            columns = (
-                np.concatenate([p[0] for p in parts]),
-                np.concatenate([p[1] for p in parts]),
-                np.concatenate([p[2] for p in parts]),
-            )
-            # Consolidate: future reads only pay for newer chunks.
-            # Content-preserving re-chunking of the same rows — a bump
-            # here would wrongly invalidate every aggregate cache.
-            self._chunks = [columns]  # repro: noqa[REP204]
-            self._chunk_spill_names = [None]
+        with self._rows_lock:
+            parts = self._chunks
+            if not parts:
+                empty = np.empty(0, dtype=np.int64)
+                columns = (empty, empty.copy(), empty.copy())
+            elif len(parts) == 1:
+                columns = parts[0]
+            else:
+                columns = (
+                    np.concatenate([p[0] for p in parts]),
+                    np.concatenate([p[1] for p in parts]),
+                    np.concatenate([p[2] for p in parts]),
+                )
+                # Consolidate: future reads only pay for newer chunks.
+                # Content-preserving re-chunking of the same rows — a bump
+                # here would wrongly invalidate every aggregate cache.
+                self._chunks = [columns]  # repro: noqa[REP204]
+                self._chunk_spill_names = [None]
         with self._cache_lock:
             self._columns_cache = (self._generation, columns)
         return columns
@@ -939,19 +1002,23 @@ class PassiveDnsDatabase:
                     store.directory, "domain sidecar column lengths differ"
                 )
             domains = [DomainName(name) for name in names]
-            self._id_of = {domain: i for i, domain in enumerate(domains)}
-            self._domains = domains
-            self._first_seen.extend(first_seen)
-            self._last_seen.extend(last_seen)
-            self._totals.extend(totals)
-            for domain in domains:
-                tld = domain.tld
-                tld_id = self._tld_of.get(tld)
-                if tld_id is None:
-                    tld_id = len(self._tlds)
-                    self._tld_of[tld] = tld_id
-                    self._tlds.append(tld)
-                self._tld_ids.append(tld_id)
+            # Restore runs before the store is shared, but the guard
+            # keeps the lockset uniform (REP301): every writer of the
+            # domain table and row layout holds the rows lock.
+            with self._rows_lock:
+                self._id_of = {domain: i for i, domain in enumerate(domains)}
+                self._domains = domains
+                self._first_seen.extend(first_seen)
+                self._last_seen.extend(last_seen)
+                self._totals.extend(totals)
+                for domain in domains:
+                    tld = domain.tld
+                    tld_id = self._tld_of.get(tld)
+                    if tld_id is None:
+                        tld_id = len(self._tlds)
+                        self._tld_of[tld] = tld_id
+                        self._tlds.append(tld)
+                    self._tld_ids.append(tld_id)
         for info in store.segments():
             ids, times, counts = store.mmap_segment(info)
             if len(ids) and int(ids.max()) >= len(self._domains):
@@ -959,9 +1026,10 @@ class PassiveDnsDatabase:
                     store.directory / "segments" / info.name,
                     "segment references a domain id beyond the sidecar table",
                 )
-            self._chunks.append((ids, times, counts))
-            self._chunk_spill_names.append(info.name)
-            self._n_rows += len(ids)
+            with self._rows_lock:
+                self._chunks.append((ids, times, counts))
+                self._chunk_spill_names.append(info.name)
+                self._n_rows += len(ids)
             if info.digest is not None and not paranoid:
                 value = info.digest
             else:
@@ -1073,8 +1141,12 @@ class PassiveDnsDatabase:
             names.append(info.name)
         # Content-preserving re-chunking of the same rows in the same
         # order — a bump here would wrongly invalidate every cache.
-        self._chunks = chunks  # repro: noqa[REP204]
-        self._chunk_spill_names = names
+        # Published in one rows-lock critical section (the mmaps were
+        # built above, outside the lock) so readers never see the
+        # chunk list and the name list disagree.
+        with self._rows_lock:
+            self._chunks = chunks  # repro: noqa[REP204]
+            self._chunk_spill_names = names
         live = {name for name in names if name is not None}
         with self._cache_lock:
             self._segment_digest_cache = {

@@ -10,14 +10,19 @@ driven so they pass the REP001/REP002 linter and reproduce bit-for-bit:
   with a simulated-time reset window;
 - :class:`DeadLetterQueue` — a bounded queue of failed deliveries with
   replay, so transient faults lose nothing and permanent ones are
-  quarantined instead of crashing the pipeline.
+  quarantined instead of crashing the pipeline;
+- :class:`RateLimit` / :class:`TokenBucket` — fixed-window token
+  buckets over simulated time (per-tenant admission in the serving
+  tier, quota modeling in the blocklist store).
 
 The passive DNS wiring that composes these with the fault harness
-lives in :mod:`repro.passivedns.pipeline`.
+lives in :mod:`repro.passivedns.pipeline`; the query-serving wiring in
+:mod:`repro.serving`.
 """
 
 from repro.resilience.breaker import BreakerState, CircuitBreaker
 from repro.resilience.dlq import DeadLetter, DeadLetterQueue, ReplayStats
+from repro.resilience.ratelimit import RateLimit, TokenBucket
 from repro.resilience.retry import RetryPolicy
 
 __all__ = [  # repro: noqa[REP104] dead-letter record type; exported for annotations
@@ -25,6 +30,8 @@ __all__ = [  # repro: noqa[REP104] dead-letter record type; exported for annotat
     "CircuitBreaker",
     "DeadLetter",
     "DeadLetterQueue",
+    "RateLimit",
     "ReplayStats",
     "RetryPolicy",
+    "TokenBucket",
 ]

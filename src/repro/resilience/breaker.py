@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import enum
+import threading
 from typing import Callable, TypeVar
 
 from repro.errors import CircuitOpenError, ConfigError
@@ -29,6 +30,15 @@ class CircuitBreaker:
     - OPEN → HALF_OPEN once ``reset_timeout`` seconds have passed;
     - HALF_OPEN → CLOSED after ``probe_successes`` successes, or back
       to OPEN on any failure.
+
+    Safe for concurrent callers: transitions happen under an internal
+    lock, and in HALF_OPEN at most one probe is outstanding at a time —
+    :meth:`allow` *claims* the probe slot for the caller it admits, and
+    every other caller is rejected until that probe reports back
+    through :meth:`record_success` / :meth:`record_failure`.  Without
+    the claim, a thundering herd arriving at the cooldown boundary
+    would all be admitted "as the probe" and re-hammer the dependency
+    the breaker just isolated.
     """
 
     def __init__(
@@ -50,6 +60,11 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._probe_streak = 0
         self._opened_at = 0
+        #: Serializes state transitions; guarded work is a few
+        #: comparisons, never the protected call itself.
+        self._lock = threading.RLock()
+        #: True while the single half-open probe is outstanding.
+        self._probe_in_flight = False
         # Lifetime counters an operator would graph.
         self.failures = 0
         self.successes = 0
@@ -57,47 +72,73 @@ class CircuitBreaker:
         self.times_opened = 0
 
     def allow(self, now: int) -> bool:
-        """Whether a call may proceed at ``now`` (may trip half-open)."""
-        if self.state is BreakerState.OPEN:
-            if now - self._opened_at >= self.reset_timeout:
-                self.state = BreakerState.HALF_OPEN
-                self._probe_streak = 0
+        """Whether a call may proceed at ``now`` (may trip half-open).
+
+        In HALF_OPEN (including the OPEN → HALF_OPEN transition this
+        call performs), a ``True`` return claims the single probe
+        slot: the caller must report back via :meth:`record_success`
+        or :meth:`record_failure`, and until it does every other
+        caller gets ``False``.
+        """
+        with self._lock:
+            if self.state is BreakerState.OPEN:
+                if now - self._opened_at >= self.reset_timeout:
+                    self.state = BreakerState.HALF_OPEN
+                    self._probe_streak = 0
+                    self._probe_in_flight = True
+                    return True
+                return False
+            if self.state is BreakerState.HALF_OPEN:
+                if self._probe_in_flight:
+                    return False
+                self._probe_in_flight = True
                 return True
-            return False
-        return True
+            return True
 
     def record_success(self, now: int) -> None:
         """Feed back a successful call."""
-        self.successes += 1
-        self._consecutive_failures = 0
-        if self.state is BreakerState.HALF_OPEN:
-            self._probe_streak += 1
-            if self._probe_streak >= self.probe_successes:
-                self.state = BreakerState.CLOSED
+        with self._lock:
+            self.successes += 1
+            self._consecutive_failures = 0
+            if self.state is BreakerState.HALF_OPEN:
+                self._probe_in_flight = False
+                self._probe_streak += 1
+                if self._probe_streak >= self.probe_successes:
+                    self.state = BreakerState.CLOSED
 
     def record_failure(self, now: int) -> None:
         """Feed back a failed call."""
-        self.failures += 1
-        if self.state is BreakerState.HALF_OPEN:
-            self._trip(now)
-            return
-        self._consecutive_failures += 1
-        if (
-            self.state is BreakerState.CLOSED
-            and self._consecutive_failures >= self.failure_threshold
-        ):
-            self._trip(now)
+        with self._lock:
+            self.failures += 1
+            if self.state is BreakerState.HALF_OPEN:
+                self._trip(now)
+                return
+            self._consecutive_failures += 1
+            if (
+                self.state is BreakerState.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip(now)
 
     def _trip(self, now: int) -> None:
-        self.state = BreakerState.OPEN
-        self._opened_at = now
-        self._consecutive_failures = 0
-        self.times_opened += 1
+        with self._lock:
+            self.state = BreakerState.OPEN
+            self._opened_at = now
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            self.times_opened += 1
 
     def call(self, operation: Callable[[], T], now: int) -> T:
         """Run ``operation`` through the breaker at ``now``."""
         if not self.allow(now):
-            self.rejected += 1
+            with self._lock:
+                self.rejected += 1
+                half_open = self.state is BreakerState.HALF_OPEN
+            if half_open:
+                raise CircuitOpenError(
+                    "half-open probe already in flight "
+                    f"(circuit opened at t={self._opened_at})"
+                )
             raise CircuitOpenError(
                 f"circuit open since t={self._opened_at} "
                 f"(retry after {self.reset_timeout}s)"

@@ -1,0 +1,85 @@
+"""Overload-hardened multi-tenant query serving tier.
+
+The analyses in this repo are batch jobs; this package turns the
+:class:`~repro.passivedns.database.PassiveDnsDatabase` into a *served*
+resource the way a passive-DNS measurement platform would expose it to
+analysts: a typed query API in front of the store, an admission
+controller (bounded queue, per-tenant token buckets, deadline
+propagation, priority load shedding), and graceful degradation —
+when a circuit breaker over fresh aggregates opens, eligible queries
+are answered from the previous generation's cache and marked
+``degraded``.
+
+Everything runs on simulated time (:class:`~repro.clock.SimClock`),
+so an overload episode — burst arrivals, slow workers, a wedged
+worker pinned until its deadline reaper fires — replays bit-identically
+from a seed, exactly like the ingest-side fault sweeps.
+
+Layout:
+
+- :mod:`repro.serving.queries` — typed queries, deadlines, cost meter;
+- :mod:`repro.serving.admission` — token buckets, priority queues,
+  the shed ladder;
+- :mod:`repro.serving.server` — the deterministic discrete-event
+  server (plus a real-thread mode for throughput benchmarks);
+- :mod:`repro.serving.sweep` — the overload sweep gating shed /
+  degraded / served curves against a clean baseline.
+"""
+
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    Decision,
+    QueryRequest,
+    Ticket,
+)
+from repro.serving.queries import (
+    ActivityWindowQuery,
+    CostMeter,
+    DailySeriesQuery,
+    Deadline,
+    Query,
+    TimelineQuery,
+    TopDomainsQuery,
+    query_from_payload,
+)
+from repro.serving.server import (
+    Disposition,
+    QueryServer,
+    ServedQuery,
+    ServerStats,
+    ServingPolicy,
+)
+from repro.serving.sweep import (
+    OverloadPoint,
+    OverloadReport,
+    overload_sweep,
+    scripted_workload,
+    synthetic_store,
+)
+
+__all__ = [  # repro: noqa[REP104] serving record types; exported for annotations
+    "ActivityWindowQuery",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "CostMeter",
+    "DailySeriesQuery",
+    "Deadline",
+    "Decision",
+    "Disposition",
+    "OverloadPoint",
+    "OverloadReport",
+    "Query",
+    "QueryRequest",
+    "QueryServer",
+    "ServedQuery",
+    "ServerStats",
+    "ServingPolicy",
+    "Ticket",
+    "TimelineQuery",
+    "TopDomainsQuery",
+    "overload_sweep",
+    "query_from_payload",
+    "scripted_workload",
+    "synthetic_store",
+]

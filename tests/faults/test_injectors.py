@@ -279,3 +279,59 @@ def test_storage_injector_rejects_bad_inputs():
     with pytest.raises(InjectedCrashError):
         injector.crash("unit-test")
     assert injector.injected == 1
+
+
+# -- serving-tier injectors ------------------------------------------------
+
+
+def test_slow_worker_delay_is_all_or_nothing():
+    from repro.faults.injectors import SlowWorkerInjector
+
+    log = InjectionLog()
+    injector = SlowWorkerInjector(0.5, 30, make_rng(5), log)
+    delays = [injector.delay(f"q{i}") for i in range(200)]
+    assert set(delays) <= {0, 30}
+    assert 0 < sum(d > 0 for d in delays) < 200
+    assert injector.decisions == 200
+    assert injector.injected == sum(d > 0 for d in delays)
+    with pytest.raises(ConfigError):
+        SlowWorkerInjector(0.1, 0, make_rng(5), InjectionLog())
+
+
+def test_stuck_worker_rate_zero_and_one():
+    from repro.faults.injectors import StuckWorkerInjector
+
+    never = StuckWorkerInjector(0.0, make_rng(1), InjectionLog())
+    always = StuckWorkerInjector(1.0, make_rng(1), InjectionLog())
+    assert not any(never.stuck(f"q{i}") for i in range(50))
+    assert all(always.stuck(f"q{i}") for i in range(50))
+
+
+def test_query_burst_fans_out_only_inside_windows():
+    from repro.faults.injectors import QueryBurstInjector
+
+    windows = [(T0 + 100, T0 + 200), (T0 + 500, T0 + 600)]
+    injector = QueryBurstInjector(windows, 6, make_rng(2), InjectionLog())
+    assert injector.factor(T0 + 150) == 6
+    assert injector.factor(T0 + 550) == 6
+    assert injector.factor(T0 + 300) == 1
+    assert injector.factor(T0 + 200) == 1  # end is exclusive
+    assert injector.injected == 2
+    with pytest.raises(ConfigError):
+        QueryBurstInjector(windows, 0, make_rng(2), InjectionLog())
+
+
+def test_overload_plan_schedules_serving_injectors():
+    plan = FaultPlan.overload(0.2, bursts=2, fanout=4)
+    assert not plan.is_null
+    schedule = plan.schedule(seed=9)
+    assert len(schedule.query_burst_windows) == 2
+    assert schedule.query_burst.fanout == 4
+    assert schedule.slow_worker.rate == 0.2
+    assert schedule.stuck_worker.rate == 0.05
+    # Same (plan, seed) -> bit-identical serving-fault decisions.
+    replay = plan.schedule(seed=9)
+    first = [schedule.slow_worker.delay(f"q{i}") for i in range(64)]
+    second = [replay.slow_worker.delay(f"q{i}") for i in range(64)]
+    assert first == second
+    assert schedule.query_burst_windows == replay.query_burst_windows

@@ -92,3 +92,58 @@ def test_validation():
         CircuitBreaker(reset_timeout=0)
     with pytest.raises(ConfigError):
         CircuitBreaker(probe_successes=0)
+
+
+# -- half-open concurrency: the single-probe claim -------------------------
+
+
+def test_half_open_admits_exactly_one_probe():
+    """allow() claims the probe slot; every other caller is refused."""
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10)
+    breaker.record_failure(now=0)
+    assert breaker.state is BreakerState.OPEN
+    # Cooldown elapsed: the first allow() transitions to HALF_OPEN and
+    # claims the probe; the rest must fail fast, not pile onto the
+    # dependency the breaker just isolated.
+    assert breaker.allow(now=11)
+    assert breaker.state is BreakerState.HALF_OPEN
+    assert not breaker.allow(now=11)
+    assert not breaker.allow(now=12)
+    with pytest.raises(CircuitOpenError, match="probe already in flight"):
+        breaker.call(lambda: "x", now=12)
+    # The probe reports back; success frees the slot (and here closes).
+    breaker.record_success(now=13)
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allow(now=14)
+
+
+def test_half_open_probe_slot_under_concurrent_callers():
+    """A thundering herd at the cooldown boundary gets one probe total."""
+    import threading
+
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10)
+    breaker.record_failure(now=0)
+    admitted = []
+    admitted_lock = threading.Lock()
+    barrier = threading.Barrier(16)
+
+    def caller():
+        barrier.wait()
+        if breaker.allow(now=11):
+            with admitted_lock:
+                admitted.append(threading.current_thread().name)
+
+    herd = [threading.Thread(target=caller, name=f"c{i}") for i in range(16)]
+    for thread in herd:
+        thread.start()
+    for thread in herd:
+        thread.join()
+    assert len(admitted) == 1
+    assert breaker.state is BreakerState.HALF_OPEN
+    # A failed probe re-opens and re-arms the cooldown; the next herd
+    # after the new cooldown again admits exactly one.
+    breaker.record_failure(now=12)
+    assert breaker.state is BreakerState.OPEN
+    assert not breaker.allow(now=13)
+    assert breaker.allow(now=23)
+    assert not breaker.allow(now=23)

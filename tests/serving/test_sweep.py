@@ -1,0 +1,63 @@
+"""The overload sweep: gates, determinism, and curve shape."""
+
+from repro.serving import Disposition, overload_sweep
+
+
+def _small_sweep(seed):
+    return overload_sweep(seed=seed, domains=200, queries=80, waves=4)
+
+
+def test_sweep_passes_its_gates_and_replays_identically():
+    first = _small_sweep(2)
+    assert first.regressions() == []
+    second = _small_sweep(2)
+    assert [p.counts for p in first.points] == [p.counts for p in second.points]
+    assert [p.fingerprint for p in first.points] == [
+        p.fingerprint for p in second.points
+    ]
+
+
+def test_clean_baseline_is_perfectly_clean():
+    report = _small_sweep(4)
+    baseline = report.baseline()
+    assert baseline.answered == baseline.submitted
+    for name in (
+        Disposition.SHED,
+        Disposition.DEGRADED,
+        Disposition.CANCELLED,
+        Disposition.EXPIRED,
+        Disposition.REJECTED,
+        Disposition.QUEUE_FULL,
+        Disposition.FAILED,
+    ):
+        assert baseline.count(name) == 0
+    assert baseline.unhandled == 0
+    assert baseline.identity_mismatches == 0
+
+
+def test_hostile_points_engage_the_protection_ladder():
+    report = _small_sweep(2)
+    by_label = {point.label: point for point in report.points}
+    stuck = by_label["stuck"]
+    storm = by_label["storm"]
+    # Stuck workers produce reaped cancellations; the storm's fanned
+    # arrivals overflow the admission gates.
+    assert stuck.count(Disposition.CANCELLED) > 0
+    refused = (
+        storm.count(Disposition.SHED)
+        + storm.count(Disposition.RATE_LIMITED)
+        + storm.count(Disposition.QUEUE_FULL)
+    )
+    assert storm.submitted > stuck.submitted  # fanout happened
+    assert refused > 0
+    # Protection never turns into collapse or leaks.
+    for point in report.points:
+        assert point.unhandled == 0
+        assert sum(point.counts.values()) == point.submitted
+        assert point.answered_fraction >= report.min_answered_fraction
+
+
+def test_distinct_seeds_change_the_replay():
+    assert [p.counts for p in _small_sweep(2).points] != [
+        p.counts for p in _small_sweep(5).points
+    ]

@@ -122,3 +122,33 @@ class TestFaultsCommand:
         with pytest.raises(ConfigError):
             main(["faults", "--seeds", "1", "--domains", "900",
                   "--rates", "0,1.5"])
+
+
+class TestServe:
+    def test_serve_requires_script_or_sweep(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--script" in capsys.readouterr().err
+
+    def test_serve_script_batch(self, tmp_path, capsys):
+        script = tmp_path / "queries.jsonl"
+        script.write_text(
+            '{"kind": "top-domains", "n": 3, "tenant": "alice", "priority": 2}\n'
+            '{"kind": "activity-window", "domain": "nx-00001.net", "at": 10}\n'
+            '{"kind": "top-domains", "n": 3, "tenant": "bob", "at": 20}\n'
+        )
+        assert main(["serve", "--script", str(script), "--domains", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "top-domains" in out
+        assert "cached" in out  # the third line repeats the first query
+        assert "answered 3/3" in out
+
+    def test_serve_sweep_gates(self, capsys):
+        assert (
+            main(
+                ["serve", "--sweep", "--queries", "60", "--domains", "150"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "clean" in out and "storm" in out
+        assert "overload sweep passed" in out
